@@ -1,0 +1,90 @@
+// Ablation (paper Discussion VI.1): N-EV detection would make DL platforms
+// "virtually unbreakable".
+//
+// Corrupt checkpoints with the critical bit INCLUDED (the collapse regime of
+// Table IV), then resume (a) unguarded, (b) with the Zero-repair guard,
+// (c) with the Clamp-repair guard. The guard should eliminate essentially
+// all collapses and restore near-baseline accuracy.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "core/protection.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv, [] {
+    BenchOptions d = bench::trained_defaults();
+    d.trainings = 6;
+    d.resume_epochs = 1;  // collapse shows in the first resumed epoch
+    return d;
+  }());
+  bench::print_banner(
+      "Ablation: N-EV guard vs critical-bit corruption (chainer/alexnet)",
+      opt);
+
+  core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
+  const nn::TrainResult clean =
+      runner.resume_training(runner.restart_checkpoint(), opt.resume_epochs);
+
+  struct Mode {
+    const char* label;
+    bool guard;
+    core::RepairAction action;
+  };
+  const std::vector<Mode> modes = {
+      {"unguarded", false, core::RepairAction::Zero},
+      {"guard: zero", true, core::RepairAction::Zero},
+      {"guard: clamp", true, core::RepairAction::Clamp},
+  };
+
+  core::TextTable table({"mode", "bit-flips", "trainings", "collapsed",
+                         "avg accuracy", "clean accuracy"});
+
+  for (const std::uint64_t flips : {100u, 1000u}) {
+    for (const Mode& mode : modes) {
+      std::size_t collapsed = 0;
+      double acc_sum = 0.0;
+      std::size_t acc_n = 0;
+      for (std::size_t t = 0; t < opt.trainings; ++t) {
+        mh5::File ckpt = runner.restart_checkpoint();
+        core::CorrupterConfig cc;
+        cc.injection_attempts = static_cast<double>(flips);
+        cc.corruption_mode = core::CorruptionMode::BitRange;
+        cc.first_bit = 0;
+        cc.last_bit = 63;  // critical bit INCLUDED
+        cc.seed = opt.seed * 41 + t + flips;
+        core::Corrupter(cc).corrupt(ckpt);
+        if (mode.guard) {
+          core::GuardConfig gc;
+          gc.action = mode.action;
+          core::guard_checkpoint(ckpt, gc);
+        }
+        const nn::TrainResult res =
+            runner.resume_training(ckpt, opt.resume_epochs);
+        if (res.collapsed) {
+          ++collapsed;
+        } else {
+          acc_sum += res.final_accuracy;
+          ++acc_n;
+        }
+      }
+      table.add_row(
+          {mode.label, std::to_string(flips), std::to_string(opt.trainings),
+           std::to_string(collapsed),
+           acc_n ? format_fixed(100.0 * acc_sum / static_cast<double>(acc_n),
+                                1)
+                 : "-",
+           format_fixed(100.0 * clean.final_accuracy, 1)});
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "expected shape: unguarded trainings collapse at high rates; both "
+      "guard variants remove (nearly) all collapses and keep accuracy near "
+      "the clean baseline — the paper's 'virtually unbreakable' claim.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Extension experiment (paper Section VI.5): checkpoint alteration applied
+// to traditional iterative PDE solvers.
+//
+// For growing flip counts, corrupt a mid-run checkpoint of Jacobi and CG on
+// the same Poisson problem and measure (a) whether the resumed solver still
+// reaches the tolerance, (b) the extra iterations it needs, and (c) for CG,
+// whether its internal residual still tracks the truth. The shape: Jacobi
+// is self-stabilising; CG converges by its own signal while being wrong.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "solver/heat2d.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+namespace {
+
+core::CorrupterConfig flips_config(std::uint64_t flips, std::uint64_t seed) {
+  core::CorrupterConfig cc;
+  cc.injection_attempts = static_cast<double>(flips);
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = seed;
+  return cc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  std::printf("=== Extension: SDC in iterative PDE solvers (Poisson 2-D) ===\n");
+  std::printf("scale: %zu trials/cell\n\n", opt.trainings);
+
+  solver::PoissonProblem problem;
+  problem.n = 32;
+  const double tol = 1e-6;
+
+  // Clean convergence baselines.
+  solver::Jacobi2D clean_jacobi(problem);
+  const std::size_t jacobi_base = clean_jacobi.run_until(tol, 500000);
+  solver::ConjugateGradient2D clean_cg(problem);
+  const std::size_t cg_base = clean_cg.run_until(tol, 50000);
+  std::printf("clean iterations to tol %.0e: jacobi %zu, cg %zu\n\n", tol,
+              jacobi_base, cg_base);
+
+  core::TextTable table({"solver", "bit-flips", "trials", "recovered",
+                         "avg extra iters", "cg residual lies"});
+
+  for (const std::uint64_t flips : {1u, 10u, 100u, 1000u}) {
+    // --- Jacobi ---
+    std::size_t recovered = 0, extra_sum = 0;
+    for (std::size_t t = 0; t < opt.trainings; ++t) {
+      solver::Jacobi2D j(problem);
+      j.step(jacobi_base / 2);
+      mh5::File ckpt = j.checkpoint();
+      core::Corrupter(flips_config(flips, 13 * t + flips)).corrupt(ckpt);
+      solver::Jacobi2D resumed = solver::Jacobi2D::from_checkpoint(ckpt);
+      // Recovery from ~1e300-magnitude corruption takes tens of multiples of
+      // the clean iteration count (slow fixed-point contraction), so the cap
+      // must be generous.
+      const std::size_t used = resumed.run_until(tol, 100 * jacobi_base);
+      if (resumed.residual() <= tol) {
+        ++recovered;
+        const std::size_t remaining_clean = jacobi_base - jacobi_base / 2;
+        extra_sum += used > remaining_clean ? used - remaining_clean : 0;
+      }
+    }
+    table.add_row({"jacobi", std::to_string(flips),
+                   std::to_string(opt.trainings), std::to_string(recovered),
+                   recovered ? format_fixed(static_cast<double>(extra_sum) /
+                                                static_cast<double>(recovered),
+                                            0)
+                             : "-",
+                   "n/a"});
+
+    // --- CG ---
+    std::size_t cg_recovered = 0, lies = 0, cg_extra = 0;
+    for (std::size_t t = 0; t < opt.trainings; ++t) {
+      solver::ConjugateGradient2D cg(problem);
+      cg.step(cg_base / 2);
+      mh5::File ckpt = cg.checkpoint();
+      core::Corrupter(flips_config(flips, 17 * t + flips)).corrupt(ckpt);
+      auto resumed = solver::ConjugateGradient2D::from_checkpoint(ckpt);
+      const std::size_t used = resumed.run_until(tol, 20 * cg_base);
+      const double truth = resumed.true_residual();
+      if (truth <= 100 * tol) {
+        ++cg_recovered;
+        const std::size_t remaining_clean = cg_base - cg_base / 2;
+        cg_extra += used > remaining_clean ? used - remaining_clean : 0;
+      }
+      // "Lies": internal signal says converged but the truth is far off.
+      if (resumed.residual() <= tol && truth > 100 * tol) ++lies;
+    }
+    table.add_row({"cg", std::to_string(flips), std::to_string(opt.trainings),
+                   std::to_string(cg_recovered),
+                   cg_recovered
+                       ? format_fixed(static_cast<double>(cg_extra) /
+                                          static_cast<double>(cg_recovered),
+                                      0)
+                       : "-",
+                   std::to_string(lies)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "expected shape: jacobi recovers from every flip count (fixed-point "
+      "contraction repairs the state); cg increasingly finishes with an "
+      "internal residual that no longer matches the true one.\n");
+  return 0;
+}

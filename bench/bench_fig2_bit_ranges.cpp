@@ -1,0 +1,68 @@
+// Figure 2: which bit ranges collapse a network.
+//
+// The paper sweeps the corruptible bit range of the injector (1000 flips per
+// training, 170 trainings per range) and finds training collapses only when
+// the range includes the most significant exponent bit.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "util/bitops.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  bench::print_banner("Figure 2: bit ranges that collapse a network", opt);
+
+  const FloatLayout layout = float_layout(64);
+  struct Range {
+    const char* label;
+    int first, last;
+    bool includes_msb;
+  };
+  const std::vector<Range> ranges = {
+      {"[0,63] full value", 0, 63, true},
+      {"[0,62] no sign", 0, 62, true},
+      {"[0,61] no sign, no exp MSB", 0, 61, false},
+      {"[52,62] exponent incl MSB", 52, 62, true},
+      {"[52,61] exponent excl MSB", 52, 61, false},
+      {"[0,51] mantissa only", 0, 51, false},
+      {"[62,62] exponent MSB only", 62, 62, true},
+  };
+  (void)layout;
+
+  core::TextTable table(
+      {"bit range", "includes exp MSB", "trainings", "collapsed", "%"});
+  core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
+
+  for (const auto& range : ranges) {
+    std::size_t collapsed = 0;
+    for (std::size_t t = 0; t < opt.trainings; ++t) {
+      mh5::File ckpt = runner.restart_checkpoint();
+      core::CorrupterConfig cc;
+      cc.injection_attempts = 1000;
+      cc.corruption_mode = core::CorruptionMode::BitRange;
+      cc.first_bit = range.first;
+      cc.last_bit = range.last;
+      cc.seed = opt.seed * 59 + t * 3 + static_cast<std::uint64_t>(range.first);
+      core::Corrupter corrupter(cc);
+      corrupter.corrupt(ckpt);
+      const nn::TrainResult res =
+          runner.resume_training(ckpt, opt.resume_epochs);
+      collapsed += res.collapsed ? 1 : 0;
+    }
+    table.add_row({range.label, range.includes_msb ? "yes" : "no",
+                   std::to_string(opt.trainings), std::to_string(collapsed),
+                   format_fixed(100.0 * static_cast<double>(collapsed) /
+                                    static_cast<double>(opt.trainings),
+                                1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: collapse happens only when the range includes the "
+      "exponent MSB (bit 62); every range sparing it survives 1000 flips.\n");
+  return 0;
+}

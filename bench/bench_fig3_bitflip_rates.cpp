@@ -1,0 +1,86 @@
+// Figure 3: accuracy-vs-epoch curves under different bit-flip rates.
+//
+// Three framework/model panels; in each, trainings resume from the restart
+// checkpoint with {10,100,500,1000} bit-flips (exponent MSB excluded) and
+// their accuracy trajectory is compared against the error-free training
+// (the paper's green line). Each line averages `trainings` runs.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
+  opt.resume_epochs = 0;  // resume to total_epochs for the full curve
+  bench::print_banner("Figure 3: sensitivity to different bit-flip rates",
+                      opt);
+
+  const std::vector<std::pair<std::string, std::string>> panels = {
+      {"chainer", "resnet50"}, {"pytorch", "vgg16"}, {"tensorflow", "alexnet"}};
+  const std::vector<std::uint64_t> rates = {10, 100, 500, 1000};
+
+  for (const auto& [framework, model] : panels) {
+    core::ExperimentRunner runner(bench::make_config(opt, framework, model));
+    const std::size_t epochs =
+        runner.config().total_epochs - runner.config().restart_epoch;
+
+    std::printf("--- panel %s/%s (accuracy per epoch, restart at epoch %zu)\n",
+                framework.c_str(), model.c_str(),
+                runner.config().restart_epoch);
+    core::TextTable table([&] {
+      std::vector<std::string> hdr = {"series"};
+      for (std::size_t e = 0; e < epochs; ++e)
+        hdr.push_back("e" + std::to_string(runner.config().restart_epoch + e));
+      return hdr;
+    }());
+
+    // Error-free resumed line (the paper's full-training green line).
+    {
+      const nn::TrainResult& clean = runner.clean_resume();
+      std::vector<std::string> row = {"error-free"};
+      for (const auto& s : clean.epochs)
+        row.push_back(format_fixed(100.0 * s.test_accuracy, 1));
+      while (row.size() < epochs + 1) row.push_back("-");
+      table.add_row(row);
+    }
+
+    for (const std::uint64_t rate : rates) {
+      std::vector<double> acc_sum(epochs, 0.0);
+      std::vector<std::size_t> acc_n(epochs, 0);
+      for (std::size_t t = 0; t < opt.trainings; ++t) {
+        mh5::File ckpt = runner.restart_checkpoint();
+        core::CorrupterConfig cc;
+        cc.injection_attempts = static_cast<double>(rate);
+        cc.corruption_mode = core::CorruptionMode::BitRange;
+        cc.first_bit = 0;
+        cc.last_bit = 61;  // exponent MSB excluded (paper Section V-C)
+        cc.seed = opt.seed * 389 + t * 11 + rate;
+        core::Corrupter corrupter(cc);
+        corrupter.corrupt(ckpt);
+        const nn::TrainResult res = runner.resume_training(ckpt);
+        for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e) {
+          acc_sum[e] += res.epochs[e].test_accuracy;
+          acc_n[e] += 1;
+        }
+      }
+      std::vector<std::string> row = {std::to_string(rate) + " flips"};
+      for (std::size_t e = 0; e < epochs; ++e) {
+        row.push_back(acc_n[e] ? format_fixed(100.0 * acc_sum[e] /
+                                                  static_cast<double>(acc_n[e]),
+                                              1)
+                               : "-");
+      }
+      table.add_row(row);
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n%s\n", table.str().c_str());
+  }
+  std::printf(
+      "paper shape: with the exponent MSB excluded, no rate up to 1000 "
+      "flips degrades the training trajectory; curves overlap the "
+      "error-free line.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 4: fault injection into specific layers of AlexNet (Chainer).
+//
+// 1000 bit-flips confined to the first (conv1), middle (conv4) and last
+// (fc8) layer; accuracy trajectories vs the error-free line. The paper
+// finds first-layer injection dips then recovers; middle/last barely move.
+// The generated injection logs are saved for bench_fig5 to replay.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "core/injection_log.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
+  bench::print_banner("Figure 4: per-layer injection, chainer/alexnet", opt);
+
+  core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
+  const std::size_t epochs =
+      runner.config().total_epochs - runner.config().restart_epoch;
+
+  const std::vector<std::pair<std::string, std::string>> layers = {
+      {"first (conv1)", "conv1"},
+      {"middle (conv4)", "conv4"},
+      {"last (fc8)", "fc8"}};
+
+  core::TextTable table([&] {
+    std::vector<std::string> hdr = {"series"};
+    for (std::size_t e = 0; e < epochs; ++e)
+      hdr.push_back("e" + std::to_string(runner.config().restart_epoch + e));
+    return hdr;
+  }());
+
+  {
+    const nn::TrainResult& clean = runner.clean_resume();
+    std::vector<std::string> row = {"error-free"};
+    for (const auto& s : clean.epochs)
+      row.push_back(format_fixed(100.0 * s.test_accuracy, 1));
+    while (row.size() < epochs + 1) row.push_back("-");
+    table.add_row(row);
+  }
+
+  auto model = runner.make_model();
+  core::ModelContext ctx = runner.make_context(*model);
+
+  for (const auto& [label, layer] : layers) {
+    std::vector<double> acc_sum(epochs, 0.0);
+    std::vector<std::size_t> acc_n(epochs, 0);
+    for (std::size_t t = 0; t < opt.trainings; ++t) {
+      mh5::File ckpt = runner.restart_checkpoint();
+      core::CorrupterConfig cc;
+      cc.injection_attempts = 1000;
+      cc.corruption_mode = core::CorruptionMode::BitRange;
+      cc.first_bit = 0;
+      cc.last_bit = 61;
+      cc.use_random_locations = false;
+      cc.locations_to_corrupt = {"predictor/" + layer};
+      cc.seed = opt.seed * 97 + t;
+      core::Corrupter corrupter(cc);
+      core::InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
+      if (t == 0) {
+        // Save the first training's log for equivalent injection (fig 5).
+        rep.log.set_meta("framework", "chainer");
+        rep.log.set_meta("model", "alexnet");
+        rep.log.save("fig4_log_" + layer + ".json");
+      }
+      const nn::TrainResult res = runner.resume_training(ckpt);
+      for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e) {
+        acc_sum[e] += res.epochs[e].test_accuracy;
+        acc_n[e] += 1;
+      }
+    }
+    std::vector<std::string> row = {label};
+    for (std::size_t e = 0; e < epochs; ++e) {
+      row.push_back(acc_n[e] ? format_fixed(100.0 * acc_sum[e] /
+                                                static_cast<double>(acc_n[e]),
+                                            1)
+                             : "-");
+    }
+    table.add_row(row);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: only first-layer injection visibly degrades accuracy at "
+      "restart, then recovers toward the error-free line; middle and last "
+      "layers absorb the flips. logs saved to fig4_log_<layer>.json\n");
+  return 0;
+}

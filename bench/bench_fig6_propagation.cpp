@@ -1,0 +1,89 @@
+// Figure 6: propagation of errors through the network (TensorFlow/AlexNet).
+//
+// Inject 1000 bit-flips into one layer at the restart epoch, train onward,
+// then compare every weight against the error-free twin at the same epoch.
+// The paper reports boxplots of the non-zero weight differences per
+// injected layer: first-layer injection spreads the widest, the middle
+// layer absorbs, the last layer sits in between.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
+  bench::print_banner("Figure 6: soft error propagation, tensorflow/alexnet",
+                      opt);
+
+  core::ExperimentRunner runner(
+      bench::make_config(opt, "tensorflow", "alexnet"));
+  const std::size_t compare_epoch = runner.config().total_epochs;
+
+  // Error-free weights at the comparison epoch (paper: epoch 30 = inject at
+  // 20 + 10 epochs of training).
+  const auto clean_weights =
+      runner.weights_of(runner.checkpoint_at(compare_epoch));
+
+  const std::vector<std::pair<std::string, std::string>> layers = {
+      {"first (conv1)", "conv1"},
+      {"middle (conv4)", "conv4"},
+      {"last (fc8)", "fc8"}};
+
+  core::TextTable table({"injected layer", "diff weights", "q1", "median",
+                         "q3", "whisker-lo", "whisker-hi", "outliers"});
+
+  auto model = runner.make_model();
+  core::ModelContext ctx = runner.make_context(*model);
+
+  for (const auto& [label, layer] : layers) {
+    mh5::File ckpt = runner.restart_checkpoint();
+    core::CorrupterConfig cc;
+    cc.injection_attempts = 1000;
+    cc.corruption_mode = core::CorruptionMode::BitRange;
+    cc.first_bit = 0;
+    cc.last_bit = 61;
+    cc.use_random_locations = false;
+    cc.locations_to_corrupt = {"model_weights/" + layer};
+    cc.seed = opt.seed * 211;
+    core::Corrupter corrupter(cc);
+    corrupter.corrupt(ckpt, &ctx);
+
+    auto [res, trained] = runner.resume_training_with_model(ckpt);
+    (void)res;
+
+    // Differences between corrupted-then-trained weights and the clean twin;
+    // only weights with differences are used (paper).
+    std::vector<double> diffs;
+    for (const auto& p : trained->params()) {
+      const auto& clean = clean_weights.at(p.name);
+      for (std::size_t i = 0; i < clean.size(); ++i) {
+        const double d = (*p.value)[i] - clean[i];
+        if (d != 0.0 && std::isfinite(d)) diffs.push_back(std::fabs(d));
+      }
+    }
+    if (diffs.empty()) {
+      table.add_row({label, "0", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const BoxplotStats box = boxplot_stats(diffs);
+    table.add_row({label, std::to_string(diffs.size()),
+                   format_fixed(box.q1, 6), format_fixed(box.median, 6),
+                   format_fixed(box.q3, 6), format_fixed(box.whisker_lo, 6),
+                   format_fixed(box.whisker_hi, 6),
+                   std::to_string(box.n_outliers)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: first-layer injection shows the widest difference "
+      "range; the (large) middle layer absorbs flips and shows the "
+      "narrowest; the last layer sits between, limited by reduced "
+      "backpropagation reach.\n");
+  return 0;
+}

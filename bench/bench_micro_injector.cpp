@@ -1,0 +1,137 @@
+// Microbenchmarks of the corrupter itself, including the ablations called
+// out in DESIGN.md: NaN-filter retry cost, percentage-vs-count accounting,
+// and location-targeted vs whole-file injection.
+#include <benchmark/benchmark.h>
+
+#include "core/corrupter.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+mh5::File make_file(std::uint64_t elems_per_ds, std::size_t n_datasets,
+                    mh5::DType dtype = mh5::DType::F64) {
+  mh5::File f;
+  Rng rng(7);
+  for (std::size_t d = 0; d < n_datasets; ++d) {
+    auto& ds = f.create_dataset("model/layer" + std::to_string(d) + "/W",
+                                dtype, {elems_per_ds});
+    for (std::uint64_t i = 0; i < elems_per_ds; ++i)
+      ds.set_double(i, rng.normal(0.0, 0.05));
+  }
+  return f;
+}
+
+core::CorrupterConfig bit_range_cfg(std::uint64_t flips) {
+  core::CorrupterConfig cc;
+  cc.injection_attempts = static_cast<double>(flips);
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 99;
+  return cc;
+}
+
+void BM_CorruptBitRange(benchmark::State& state) {
+  mh5::File f = make_file(4096, 8);
+  const auto flips = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::Corrupter corrupter(bit_range_cfg(flips));
+    benchmark::DoNotOptimize(corrupter.corrupt(f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flips));
+}
+BENCHMARK(BM_CorruptBitRange)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CorruptBitMask(benchmark::State& state) {
+  mh5::File f = make_file(4096, 8);
+  core::CorrupterConfig cc = bit_range_cfg(1000);
+  cc.corruption_mode = core::CorruptionMode::BitMask;
+  cc.bit_mask = "11101101";
+  for (auto _ : state) {
+    core::Corrupter corrupter(cc);
+    benchmark::DoNotOptimize(corrupter.corrupt(f));
+  }
+}
+BENCHMARK(BM_CorruptBitMask);
+
+void BM_CorruptScaling(benchmark::State& state) {
+  mh5::File f = make_file(4096, 8);
+  core::CorrupterConfig cc = bit_range_cfg(1000);
+  cc.corruption_mode = core::CorruptionMode::ScalingFactor;
+  cc.scaling_factor = 4500.0;
+  for (auto _ : state) {
+    core::Corrupter corrupter(cc);
+    benchmark::DoNotOptimize(corrupter.corrupt(f));
+  }
+}
+BENCHMARK(BM_CorruptScaling);
+
+// Ablation: the NaN filter's rejection-sampling cost. The aggressive range
+// [52,63] frequently produces non-finite values, forcing retries.
+void BM_NanFilter(benchmark::State& state) {
+  const bool filter_on = state.range(0) != 0;
+  mh5::File f = make_file(4096, 8);
+  core::CorrupterConfig cc = bit_range_cfg(1000);
+  cc.first_bit = 52;
+  cc.last_bit = 63;
+  cc.allow_nan_values = !filter_on;
+  std::uint64_t retries = 0;
+  for (auto _ : state) {
+    core::Corrupter corrupter(cc);
+    const core::InjectionReport rep = corrupter.corrupt(f);
+    retries += rep.nan_retries;
+  }
+  state.counters["nan_retries_per_iter"] =
+      static_cast<double>(retries) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_NanFilter)->Arg(0)->Arg(1);
+
+// Ablation: percentage budgets must count every corruptible entry first.
+void BM_ResolveAttempts(benchmark::State& state) {
+  const bool percentage = state.range(0) != 0;
+  mh5::File f = make_file(16384, 16);
+  core::CorrupterConfig cc = bit_range_cfg(100);
+  if (percentage) {
+    cc.injection_type = core::InjectionType::Percentage;
+    cc.injection_attempts = 0.1;
+  }
+  core::Corrupter corrupter(cc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corrupter.resolve_attempts(f));
+  }
+}
+BENCHMARK(BM_ResolveAttempts)->Arg(0)->Arg(1);
+
+// Ablation: location-targeted injection vs whole-file random locations.
+void BM_LocationTargeting(benchmark::State& state) {
+  const bool targeted = state.range(0) != 0;
+  mh5::File f = make_file(4096, 32);
+  core::CorrupterConfig cc = bit_range_cfg(1000);
+  if (targeted) {
+    cc.use_random_locations = false;
+    cc.locations_to_corrupt = {"model/layer0"};
+  }
+  for (auto _ : state) {
+    core::Corrupter corrupter(cc);
+    benchmark::DoNotOptimize(corrupter.corrupt(f));
+  }
+}
+BENCHMARK(BM_LocationTargeting)->Arg(0)->Arg(1);
+
+void BM_CorruptF16Dataset(benchmark::State& state) {
+  mh5::File f = make_file(4096, 8, mh5::DType::F16);
+  core::CorrupterConfig cc = bit_range_cfg(1000);
+  cc.float_precision = 16;
+  cc.last_bit = 13;
+  for (auto _ : state) {
+    core::Corrupter corrupter(cc);
+    benchmark::DoNotOptimize(corrupter.corrupt(f));
+  }
+}
+BENCHMARK(BM_CorruptF16Dataset);
+
+}  // namespace
+
+BENCHMARK_MAIN();

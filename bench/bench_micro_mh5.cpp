@@ -1,0 +1,115 @@
+// Microbenchmarks of the mh5 container and float encode/decode paths.
+#include <benchmark/benchmark.h>
+
+#include "hdf5/file.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+mh5::File make_tree(std::size_t groups, std::size_t datasets_per_group,
+                    std::uint64_t elems) {
+  mh5::File f;
+  Rng rng(3);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t d = 0; d < datasets_per_group; ++d) {
+      auto& ds = f.create_dataset("g" + std::to_string(g) + "/layer" +
+                                      std::to_string(d) + "/W",
+                                  mh5::DType::F32, {elems});
+      for (std::uint64_t i = 0; i < elems; ++i)
+        ds.set_double(i, rng.normal());
+    }
+  }
+  return f;
+}
+
+void BM_Serialize(benchmark::State& state) {
+  const mh5::File f =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = f.serialize();
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Serialize)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Deserialize(benchmark::State& state) {
+  const auto bytes =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0))).serialize();
+  for (auto _ : state) {
+    mh5::File f = mh5::File::deserialize(bytes);
+    benchmark::DoNotOptimize(f.root().children().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_Deserialize)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Visit(benchmark::State& state) {
+  const mh5::File f = make_tree(32, 8, 16);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    f.visit([&](const std::string&, const mh5::Node&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_Visit);
+
+void BM_DatasetPaths(benchmark::State& state) {
+  const mh5::File f = make_tree(32, 8, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dataset_paths().size());
+  }
+}
+BENCHMARK(BM_DatasetPaths);
+
+void BM_ElementBitsAccess(benchmark::State& state) {
+  mh5::File f = make_tree(1, 1, 65536);
+  auto& ds = f.dataset("g0/layer0/W");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t repr = ds.element_bits(i % ds.num_elements());
+    ds.set_element_bits(i % ds.num_elements(), repr ^ 1u);
+    ++i;
+  }
+}
+BENCHMARK(BM_ElementBitsAccess);
+
+void BM_F16Conversion(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<float> values(4096);
+  for (auto& v : values) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    float sum = 0;
+    for (float v : values) sum += f16::from_float(v).to_float();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_F16Conversion);
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = rng.normal();
+  for (auto _ : state) {
+    double sum = 0;
+    for (double v : values) sum += decode_float(encode_float(v, bits), bits);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_EncodeDecode)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table IV: incidence of NaN and extreme values (N-EV) at 64-bit precision.
+//
+// For every framework x model x bit-flip rate {1,10,100,1000}, resume
+// `trainings` corrupted trainings (full bit range, NaN allowed) and count
+// how many collapse with N-EV. The paper's shape: incidence rises from
+// <0.5% at 1 flip to ~100% at 1000 flips; VGG16 is the least affected.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "frameworks/framework.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  bench::print_banner("Table IV: N-EV incidence at 64-bit precision", opt);
+
+  const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
+  core::TextTable table(
+      {"framework", "model", "bit-flips", "trainings", "N-EV", "%"});
+
+  for (const auto& framework : fw::framework_names()) {
+    for (const auto& model : models::model_names()) {
+      core::ExperimentRunner runner(bench::make_config(opt, framework, model));
+      for (const std::uint64_t rate : rates) {
+        std::size_t nev = 0;
+        for (std::size_t t = 0; t < opt.trainings; ++t) {
+          mh5::File ckpt = runner.restart_checkpoint();
+          core::CorrupterConfig cc;
+          cc.injection_attempts = static_cast<double>(rate);
+          cc.corruption_mode = core::CorruptionMode::BitRange;
+          cc.first_bit = 0;
+          cc.last_bit = 63;  // full range, critical bit included
+          cc.seed = opt.seed * 1000003 + t * 101 + rate;
+          core::Corrupter corrupter(cc);
+          corrupter.corrupt(ckpt);
+          const nn::TrainResult res =
+              runner.resume_training(ckpt, opt.resume_epochs);
+          nev += res.collapsed ? 1 : 0;
+        }
+        table.add_row({framework, model, std::to_string(rate),
+                       std::to_string(opt.trainings), std::to_string(nev),
+                       format_fixed(100.0 * static_cast<double>(nev) /
+                                        static_cast<double>(opt.trainings),
+                                    1)});
+      }
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: ~0-0.4%% at 1 flip, rising with rate to >90%% at 1000 "
+      "flips; VGG16 least affected.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table V: model sensitivity to a single bit-flip.
+//
+// RWC ("restarted with no change") counts trainings whose resumed accuracy
+// exactly equals the deterministic clean-resume baseline after 1 bit-flip
+// with the exponent MSB excluded. The paper finds models absorb most single
+// flips (RWC 46-98.8%).
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "frameworks/framework.hpp"
+#include "util/bitops.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  bench::print_banner("Table V: sensitivity to 1 bit-flip (RWC)", opt);
+
+  core::TextTable table(
+      {"model", "framework", "trainings", "RWC", "%"});
+
+  for (const auto& model : models::model_names()) {
+    for (const auto& framework : fw::framework_names()) {
+      core::ExperimentRunner runner(bench::make_config(opt, framework, model));
+      // Deterministic baseline: the clean resumed accuracy trajectory.
+      const nn::TrainResult clean =
+          runner.resume_training(runner.restart_checkpoint(),
+                                 opt.resume_epochs);
+      std::size_t rwc = 0;
+      for (std::size_t t = 0; t < opt.trainings; ++t) {
+        mh5::File ckpt = runner.restart_checkpoint();
+        core::CorrupterConfig cc;
+        cc.injection_attempts = 1;
+        cc.corruption_mode = core::CorruptionMode::BitRange;
+        cc.first_bit = 0;
+        cc.last_bit = float_layout(64).exponent_msb() - 1;  // spare bit 62
+        cc.seed = opt.seed * 7919 + t;
+        core::Corrupter corrupter(cc);
+        corrupter.corrupt(ckpt);
+        const nn::TrainResult res =
+            runner.resume_training(ckpt, opt.resume_epochs);
+        rwc += (res.final_accuracy == clean.final_accuracy) ? 1 : 0;
+      }
+      table.add_row({model, framework, std::to_string(opt.trainings),
+                     std::to_string(rwc),
+                     format_fixed(100.0 * static_cast<double>(rwc) /
+                                      static_cast<double>(opt.trainings),
+                                  1)});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: most cells absorb the flip (RWC 46-98.8%%); when not "
+      "absorbed the accuracy change is minor, never a collapse.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table VI: multi-bit masks applied to ResNet50 training across frameworks.
+//
+// The five masks come from the DRAM field study the paper cites
+// (Bautista-Gomez et al., SC'16). Each mask is applied to 10 weights per
+// training; AvgI-Acc is the average initial accuracy over the trainings that
+// did not collapse, and N-EV counts the collapsed ones.
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "frameworks/framework.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  bench::print_banner("Table VI: multi-bit masks on ResNet50", opt);
+
+  struct MaskRow {
+    int bits;
+    const char* mask;  // empty = error-free baseline
+  };
+  const std::vector<MaskRow> masks = {
+      {0, ""},          {3, "10001010"}, {4, "01101010"},
+      {4, "10110010"},  {5, "11110001"}, {6, "11101101"},
+  };
+
+  core::TextTable table(
+      {"bits", "mask", "framework", "AvgI-Acc", "N-EV", "trainings"});
+
+  for (const auto& framework : fw::framework_names()) {
+    core::ExperimentRunner runner(
+        bench::make_config(opt, framework, "resnet50"));
+    for (const auto& row : masks) {
+      double acc_sum = 0.0;
+      std::size_t acc_count = 0, nev = 0;
+      for (std::size_t t = 0; t < opt.trainings; ++t) {
+        mh5::File ckpt = runner.restart_checkpoint();
+        if (row.bits > 0) {
+          core::CorrupterConfig cc;
+          cc.corruption_mode = core::CorruptionMode::BitMask;
+          cc.bit_mask = row.mask;
+          cc.injection_attempts = 10;  // 10 weights per training (paper)
+          cc.seed = opt.seed * 31 + t * 7 + static_cast<std::uint64_t>(row.bits);
+          core::Corrupter corrupter(cc);
+          corrupter.corrupt(ckpt);
+        }
+        const nn::TrainResult res = runner.resume_training(ckpt, 1);
+        if (res.collapsed) {
+          ++nev;  // excluded from the average, as in the paper
+        } else {
+          acc_sum += res.epochs.front().test_accuracy;
+          ++acc_count;
+        }
+        if (row.bits == 0) break;  // baseline is deterministic; run once
+      }
+      const double avg =
+          acc_count > 0 ? 100.0 * acc_sum / static_cast<double>(acc_count)
+                        : 0.0;
+      table.add_row({std::to_string(row.bits),
+                     row.bits == 0 ? "00000000" : row.mask, framework,
+                     format_fixed(avg, 1), std::to_string(nev),
+                     std::to_string(row.bits == 0 ? 1 : opt.trainings)});
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: masks applied in mantissa/low exponent bits leave "
+      "accuracy near baseline; occasional N-EV when a mask lands in high "
+      "exponent bits, more often for denser masks.\n");
+  return 0;
+}

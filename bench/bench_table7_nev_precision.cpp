@@ -1,0 +1,58 @@
+// Table VII: incidence of NaN and extreme values at 16- and 32-bit
+// checkpoint precision (Chainer, all three models; the 64-bit column is
+// Table IV / bench_table4).
+#include "bench/common.hpp"
+#include "core/corrupter.hpp"
+#include "util/strings.hpp"
+
+using namespace ckptfi;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  bench::print_banner(
+      "Table VII: N-EV incidence at 16/32-bit precision (chainer)", opt);
+
+  const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
+  core::TextTable table(
+      {"precision", "model", "bit-flips", "trainings", "N-EV", "%"});
+
+  for (const int precision : {16, 32}) {
+    for (const auto& model : models::model_names()) {
+      core::ExperimentRunner runner(
+          bench::make_config(opt, "chainer", model, precision));
+      for (const std::uint64_t rate : rates) {
+        std::size_t nev = 0;
+        for (std::size_t t = 0; t < opt.trainings; ++t) {
+          mh5::File ckpt = runner.restart_checkpoint();
+          core::CorrupterConfig cc;
+          cc.float_precision = precision;
+          cc.injection_attempts = static_cast<double>(rate);
+          cc.corruption_mode = core::CorruptionMode::BitRange;
+          cc.first_bit = 0;
+          cc.last_bit = precision - 1;  // full range at this width
+          cc.seed = opt.seed * 131 + t * 17 + rate +
+                    static_cast<std::uint64_t>(precision);
+          core::Corrupter corrupter(cc);
+          corrupter.corrupt(ckpt);
+          const nn::TrainResult res =
+              runner.resume_training(ckpt, opt.resume_epochs);
+          nev += res.collapsed ? 1 : 0;
+        }
+        table.add_row({std::to_string(precision), model, std::to_string(rate),
+                       std::to_string(opt.trainings), std::to_string(nev),
+                       format_fixed(100.0 * static_cast<double>(nev) /
+                                        static_cast<double>(opt.trainings),
+                                    1)});
+      }
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n\n%s\n", table.str().c_str());
+  std::printf(
+      "paper shape: N-EV rate rises with flip count at every precision; "
+      "incidence is not strictly tied to precision, with a mild reduction "
+      "at 1000 flips for 16-bit vs 32-bit on ResNet/AlexNet.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Shared infrastructure for the paper-reproduction bench harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md section 4). Defaults are scaled down from the
+// paper (Summit-scale: 250 trainings/cell, 100 epochs, full CIFAR-10) to
+// single-CPU sizes; every knob is overridable:
+//
+//   --trainings=N      trainings per experiment cell
+//   --train-images=N   synthetic CIFAR-10 training images
+//   --test-images=N    synthetic CIFAR-10 test images
+//   --width=N          base channel width multiplier applied to all models
+//   --total-epochs=N   full training length (paper: 100)
+//   --restart-epoch=N  checkpointed epoch that gets corrupted (paper: 20)
+//   --resume-epochs=N  epochs trained after the corrupted restart
+//   --seed=N           master seed
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace ckptfi::bench {
+
+struct BenchOptions {
+  std::size_t trainings = 6;
+  std::size_t train_images = 160;
+  std::size_t test_images = 80;
+  std::size_t width = 4;
+  std::size_t total_epochs = 6;
+  std::size_t restart_epoch = 2;
+  std::size_t resume_epochs = 1;
+  std::uint64_t seed = 42;
+
+  /// Parse --key=value args over `defaults`; unknown keys abort with a
+  /// usage message. Benches whose story needs a genuinely trained baseline
+  /// (accuracy-degradation experiments) pass larger defaults.
+  static BenchOptions parse(int argc, char** argv, BenchOptions defaults);
+  static BenchOptions parse(int argc, char** argv) {
+    return parse(argc, argv, BenchOptions{});
+  }
+};
+
+inline BenchOptions BenchOptions::parse(int argc, char** argv,
+                                        BenchOptions defaults) {
+  BenchOptions o = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "usage: %s [--key=value ...]\n", argv[0]);
+      std::exit(2);
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const auto val = static_cast<std::size_t>(std::stoull(arg.substr(eq + 1)));
+    if (key == "trainings") {
+      o.trainings = val;
+    } else if (key == "train-images") {
+      o.train_images = val;
+    } else if (key == "test-images") {
+      o.test_images = val;
+    } else if (key == "width") {
+      o.width = val;
+    } else if (key == "total-epochs") {
+      o.total_epochs = val;
+    } else if (key == "restart-epoch") {
+      o.restart_epoch = val;
+    } else if (key == "resume-epochs") {
+      o.resume_epochs = val;
+    } else if (key == "seed") {
+      o.seed = val;
+    } else {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Per-model width: ResNet50 has ~3x the layer count, so it gets half the
+/// base width to keep bench wall-clock balanced across models.
+inline std::size_t model_width(const BenchOptions& o,
+                               const std::string& model) {
+  if (model == "resnet50") return std::max<std::size_t>(2, o.width / 2);
+  return o.width;
+}
+
+/// Defaults for benches that measure accuracy degradation: models must be
+/// meaningfully above chance, which needs more data/width/epochs.
+inline BenchOptions trained_defaults() {
+  BenchOptions o;
+  o.trainings = 3;
+  o.train_images = 320;
+  o.test_images = 160;
+  o.width = 6;
+  o.total_epochs = 8;
+  o.restart_epoch = 3;
+  o.resume_epochs = 0;  // resume to total_epochs
+  return o;
+}
+
+inline core::ExperimentConfig make_config(const BenchOptions& o,
+                                          const std::string& framework,
+                                          const std::string& model,
+                                          int precision_bits = 64) {
+  core::ExperimentConfig cfg;
+  cfg.framework = framework;
+  cfg.model = model;
+  cfg.model_cfg.width = model_width(o, model);
+  cfg.data_cfg.num_train = o.train_images;
+  cfg.data_cfg.num_test = o.test_images;
+  cfg.total_epochs = o.total_epochs;
+  cfg.restart_epoch = o.restart_epoch;
+  cfg.precision_bits = precision_bits;
+  cfg.seed = o.seed;
+  return cfg;
+}
+
+/// Header block naming the experiment and the scale it runs at.
+inline void print_banner(const std::string& what, const BenchOptions& o) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf(
+      "scale: %zu trainings/cell, %zu train images, width %zu, "
+      "restart epoch %zu -> resume %zu epoch(s) (paper: 250 trainings, "
+      "CIFAR-10 50k, full-width models, epoch 20)\n\n",
+      o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs);
+}
+
+}  // namespace ckptfi::bench

@@ -1,0 +1,91 @@
+// Deterministic distributed training + checkpoint corruption — the paper's
+// full experimental setup in miniature (Section V-A3).
+//
+// Trains MiniAlexNet data-parallel over 3 simulated workers with the
+// deterministic all-reduce, demonstrates the HOROVOD_FUSION_THRESHOLD
+// effect (fused vs unfused reductions diverge bitwise), then corrupts a
+// checkpoint of the distributed training and resumes it.
+#include <cmath>
+#include <cstdio>
+
+#include "core/corrupter.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "frameworks/framework.hpp"
+#include "models/models.hpp"
+#include "nn/parallel.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+std::unique_ptr<nn::Model> make_model() {
+  models::ModelConfig mc;
+  mc.width = 4;
+  auto model = models::make_mini_alexnet(mc);
+  model->init(2021);
+  return model;
+}
+
+nn::DataParallelConfig dp_config(std::size_t fusion) {
+  nn::DataParallelConfig cfg;
+  cfg.workers = 3;
+  cfg.fusion_threshold = fusion;
+  cfg.sgd.lr = 0.02;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  data::SyntheticCifarConfig dc;
+  dc.num_train = 192;
+  dc.num_test = 96;
+  const auto split = data::make_synthetic_cifar10(dc);
+  data::DataLoader loader(split.train, 24, 7);
+  data::DataLoader test_loader(split.test, 24, 7);
+  const auto test_batches = test_loader.sequential_batches();
+
+  // 1. Fusion effect: two deterministic trainings that differ bitwise.
+  auto fingerprint = [&](std::size_t fusion) {
+    nn::DataParallelTrainer dp(make_model, dp_config(fusion));
+    for (std::size_t e = 0; e < 2; ++e) dp.train_epoch(loader.batches(e));
+    double sum = 0;
+    for (const auto& p : dp.model().params())
+      for (double v : p.value->vec()) sum += v;
+    return sum;
+  };
+  const double unfused = fingerprint(0);
+  const double fused = fingerprint(256);
+  std::printf("parameter-sum fingerprint after 2 epochs over 3 workers:\n");
+  std::printf("  fusion off (HOROVOD_FUSION_THRESHOLD=0): %.17g\n", unfused);
+  std::printf("  fusion on  (bucketed reduction):         %.17g\n", fused);
+  std::printf("  bitwise identical: %s  (numerically equal to ~1e-9: %s)\n\n",
+              unfused == fused ? "yes" : "no",
+              std::fabs(unfused - fused) < 1e-6 ? "yes" : "no");
+
+  // 2. Distributed training -> checkpoint -> corrupt -> resume.
+  nn::DataParallelTrainer dp(make_model, dp_config(0));
+  for (std::size_t e = 0; e < 2; ++e) dp.train_epoch(loader.batches(e));
+  auto adapter = fw::make_adapter("tensorflow");
+  mh5::File ckpt = adapter->checkpoint_to_file(dp.model(), 64, 2);
+  std::printf("checkpointed distributed training at epoch 2 "
+              "(accuracy %.3f)\n",
+              nn::evaluate(dp.model(), test_batches));
+
+  core::CorrupterConfig cc;
+  cc.injection_attempts = 100;
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 5;
+  core::Corrupter(cc).corrupt(ckpt);
+
+  nn::DataParallelTrainer resumed(make_model, dp_config(0));
+  adapter->load_from_file(resumed.model(), ckpt);
+  resumed.sync_replicas();  // all workers restart from the corrupted state
+  for (std::size_t e = 2; e < 4; ++e) resumed.train_epoch(loader.batches(e));
+  std::printf("resumed distributed training from corrupted checkpoint: "
+              "accuracy %.3f after 2 more epochs (100 bit-flips absorbed)\n",
+              nn::evaluate(resumed.model(), test_batches));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Floating-point precision study (the paper's Section V-D scenario).
+//
+// Stores the same trained model at fp16/fp32/fp64, injects increasing
+// numbers of bit-flips into each checkpoint, and measures prediction
+// accuracy — showing the paper's trade-off: lower precision is cheaper but
+// more sensitive to corruption.
+#include <cstdio>
+
+#include "core/corrupter.hpp"
+#include "core/experiment.hpp"
+#include "core/nev.hpp"
+
+using namespace ckptfi;
+
+int main() {
+  for (const int precision : {16, 32, 64}) {
+    core::ExperimentConfig cfg;
+    cfg.framework = "chainer";
+    cfg.model = "alexnet";
+    cfg.model_cfg.width = 6;
+    cfg.data_cfg.num_train = 320;
+    cfg.data_cfg.num_test = 160;
+    cfg.total_epochs = 8;
+    cfg.restart_epoch = 3;
+    cfg.precision_bits = precision;
+    cfg.seed = 99;
+    core::ExperimentRunner runner(cfg);
+
+    // Fully trained checkpoint, stored at this precision.
+    const std::size_t trained = cfg.total_epochs;
+    const double clean =
+        runner.predict(runner.checkpoint_at(trained)).accuracy;
+    std::printf("fp%-2d clean prediction accuracy: %.3f\n", precision, clean);
+
+    for (const std::uint64_t flips : {10u, 100u, 1000u}) {
+      double acc_sum = 0.0;
+      std::size_t nev = 0;
+      const std::size_t runs = 5;
+      for (std::size_t r = 0; r < runs; ++r) {
+        mh5::File ckpt = runner.checkpoint_at(trained);
+        core::CorrupterConfig cc;
+        cc.float_precision = precision;
+        cc.injection_attempts = static_cast<double>(flips);
+        cc.corruption_mode = core::CorruptionMode::BitRange;
+        cc.first_bit = 0;
+        cc.last_bit = precision - 2;  // spare the critical bit
+        cc.seed = 31 * r + flips;
+        core::Corrupter corrupter(cc);
+        corrupter.corrupt(ckpt);
+        const nn::EvalResult res = runner.predict(ckpt);
+        acc_sum += res.accuracy;
+        nev += res.nev ? 1 : 0;
+      }
+      std::printf("fp%-2d %5llu flips: avg accuracy %.3f  (N-EV %zu/%zu)\n",
+                  precision, static_cast<unsigned long long>(flips),
+                  acc_sum / static_cast<double>(runs), nev, runs);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper Table VIII): degradation grows with flip rate "
+      "and is strongest at fp16 (5 exponent bits of 16 vs 11 of 64).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "core/corrupter_config.hpp"
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+
+std::string to_string(InjectionType t) {
+  return t == InjectionType::Count ? "count" : "percentage";
+}
+
+std::string to_string(CorruptionMode m) {
+  switch (m) {
+    case CorruptionMode::BitMask:
+      return "bit_mask";
+    case CorruptionMode::BitRange:
+      return "bit_range";
+    case CorruptionMode::ScalingFactor:
+      return "scaling_factor";
+  }
+  throw InvalidArgument("to_string(CorruptionMode): bad mode");
+}
+
+InjectionType injection_type_from_string(const std::string& s) {
+  if (s == "count") return InjectionType::Count;
+  if (s == "percentage") return InjectionType::Percentage;
+  throw FormatError("injection_type_from_string: unknown type '" + s + "'");
+}
+
+CorruptionMode corruption_mode_from_string(const std::string& s) {
+  if (s == "bit_mask") return CorruptionMode::BitMask;
+  if (s == "bit_range") return CorruptionMode::BitRange;
+  if (s == "scaling_factor") return CorruptionMode::ScalingFactor;
+  throw FormatError("corruption_mode_from_string: unknown mode '" + s + "'");
+}
+
+void CorrupterConfig::validate() const {
+  require(injection_probability >= 0.0 && injection_probability <= 1.0,
+          "CorrupterConfig: injection_probability must be in [0,1]");
+  require(injection_attempts >= 0.0,
+          "CorrupterConfig: injection_attempts must be non-negative");
+  if (injection_type == InjectionType::Percentage) {
+    require(injection_attempts <= 100.0,
+            "CorrupterConfig: percentage must be in [0,100]");
+  }
+  require(float_precision == 16 || float_precision == 32 ||
+              float_precision == 64,
+          "CorrupterConfig: float_precision must be 16/32/64");
+  if (corruption_mode == CorruptionMode::BitMask) {
+    require(!bit_mask.empty(), "CorrupterConfig: bit_mask is empty");
+    require(static_cast<int>(bit_mask.size()) <= float_precision,
+            "CorrupterConfig: bit_mask longer than float_precision");
+    parse_binary_string(bit_mask);  // validates characters
+  }
+  if (corruption_mode == CorruptionMode::BitRange) {
+    require(first_bit >= 0 && last_bit >= first_bit,
+            "CorrupterConfig: need 0 <= first_bit <= last_bit");
+    require(last_bit < float_precision,
+            "CorrupterConfig: last_bit outside float_precision");
+  }
+  if (!use_random_locations) {
+    require(!locations_to_corrupt.empty(),
+            "CorrupterConfig: locations_to_corrupt empty while "
+            "use_random_locations is false");
+  }
+}
+
+Json CorrupterConfig::to_json() const {
+  Json j = Json::object();
+  j["injection_probability"] = injection_probability;
+  j["injection_type"] = to_string(injection_type);
+  j["injection_attempts"] = injection_attempts;
+  j["float_precision"] = float_precision;
+  j["corruption_mode"] = to_string(corruption_mode);
+  if (corruption_mode == CorruptionMode::BitMask) j["bit_mask"] = bit_mask;
+  if (corruption_mode == CorruptionMode::BitRange) {
+    j["first_bit"] = first_bit;
+    j["last_bit"] = last_bit;
+  }
+  if (corruption_mode == CorruptionMode::ScalingFactor)
+    j["scaling_factor"] = scaling_factor;
+  j["allow_NaN_values"] = allow_nan_values;
+  Json locs = Json::array();
+  for (const auto& l : locations_to_corrupt) locs.push_back(l);
+  j["locations_to_corrupt"] = locs;
+  j["use_random_locations"] = use_random_locations;
+  j["seed"] = seed;
+  return j;
+}
+
+CorrupterConfig CorrupterConfig::from_json(const Json& j) {
+  CorrupterConfig c;
+  if (j.contains("injection_probability"))
+    c.injection_probability = j.at("injection_probability").as_double();
+  if (j.contains("injection_type"))
+    c.injection_type =
+        injection_type_from_string(j.at("injection_type").as_string());
+  if (j.contains("injection_attempts"))
+    c.injection_attempts = j.at("injection_attempts").as_double();
+  if (j.contains("float_precision"))
+    c.float_precision = static_cast<int>(j.at("float_precision").as_int());
+  if (j.contains("corruption_mode"))
+    c.corruption_mode =
+        corruption_mode_from_string(j.at("corruption_mode").as_string());
+  if (j.contains("bit_mask")) c.bit_mask = j.at("bit_mask").as_string();
+  if (j.contains("first_bit"))
+    c.first_bit = static_cast<int>(j.at("first_bit").as_int());
+  if (j.contains("last_bit"))
+    c.last_bit = static_cast<int>(j.at("last_bit").as_int());
+  if (j.contains("scaling_factor"))
+    c.scaling_factor = j.at("scaling_factor").as_double();
+  if (j.contains("allow_NaN_values"))
+    c.allow_nan_values = j.at("allow_NaN_values").as_bool();
+  if (j.contains("locations_to_corrupt")) {
+    for (const auto& l : j.at("locations_to_corrupt").items())
+      c.locations_to_corrupt.push_back(l.as_string());
+  }
+  if (j.contains("use_random_locations"))
+    c.use_random_locations = j.at("use_random_locations").as_bool();
+  if (j.contains("seed"))
+    c.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+  c.validate();
+  return c;
+}
+
+}  // namespace ckptfi::core

@@ -1,0 +1,83 @@
+// CorrupterConfig: the settings of the HDF5 checkpoint file corrupter,
+// mirroring Table I of the paper field-for-field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckptfi::core {
+
+/// How the injection budget is interpreted (Table I, injection_type).
+enum class InjectionType {
+  Count,       ///< injection_attempts is an absolute number of attempts
+  Percentage,  ///< injection_attempts is a % of the corruptible entries
+};
+
+/// How a value is corrupted (Table I, corruption_mode).
+enum class CorruptionMode {
+  BitMask,        ///< XOR a bit pattern at a random offset
+  BitRange,       ///< flip one random bit within [first_bit, last_bit]
+  ScalingFactor,  ///< multiply the value by scaling_factor
+};
+
+std::string to_string(InjectionType t);
+std::string to_string(CorruptionMode m);
+InjectionType injection_type_from_string(const std::string& s);
+CorruptionMode corruption_mode_from_string(const std::string& s);
+
+struct CorrupterConfig {
+  /// Probability that each injection attempt succeeds.
+  double injection_probability = 1.0;
+
+  InjectionType injection_type = InjectionType::Count;
+
+  /// Count: integer number of attempts. Percentage: percent (0..100) of the
+  /// corruptible entries in the resolved locations.
+  double injection_attempts = 1.0;
+
+  /// 16/32/64-bit precision for corrupting floating-point values. Datasets
+  /// whose stored width differs are corrupted at their stored width (the bits
+  /// that exist on disk are the bits that can flip).
+  int float_precision = 64;
+
+  CorruptionMode corruption_mode = CorruptionMode::BitRange;
+
+  /// BitMask mode: pattern of bits to flip, e.g. "101101". The offset of the
+  /// mask within the value is chosen uniformly in
+  /// [0, float_precision - len(bit_mask)] per corruption.
+  std::string bit_mask;
+
+  /// BitRange mode: inclusive corruptible bit range, 0 = mantissa LSB.
+  int first_bit = 0;
+  int last_bit = 63;
+
+  /// ScalingFactor mode: multiplier applied to the value.
+  double scaling_factor = 1.0;
+
+  /// If false, a corruption that would produce NaN/Inf is retried with fresh
+  /// randomness until a finite value results.
+  bool allow_nan_values = true;
+
+  /// Locations (dataset or group paths) to corrupt; everything nested inside
+  /// a group location is corruptible.
+  std::vector<std::string> locations_to_corrupt;
+
+  /// If true, ignore locations_to_corrupt and draw from every dataset in the
+  /// file.
+  bool use_random_locations = true;
+
+  /// Seed for the corrupter's private random stream.
+  std::uint64_t seed = 1;
+
+  /// Validate invariants (mask is binary & fits, bit range ordered and within
+  /// precision, percentage in [0,100], ...); throws InvalidArgument.
+  void validate() const;
+
+  Json to_json() const;
+  static CorrupterConfig from_json(const Json& j);
+};
+
+}  // namespace ckptfi::core

@@ -1,0 +1,83 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+
+std::vector<double> dataset_deltas(const mh5::Dataset& a,
+                                   const mh5::Dataset& b) {
+  require(a.num_elements() == b.num_elements(),
+          "dataset_deltas: element count mismatch");
+  std::vector<double> out;
+  for (std::uint64_t i = 0; i < a.num_elements(); ++i) {
+    const double va = a.get_double(i), vb = b.get_double(i);
+    if (!std::isfinite(va) || !std::isfinite(vb)) continue;
+    const double d = std::fabs(va - vb);
+    if (d != 0.0) out.push_back(d);
+  }
+  return out;
+}
+
+CheckpointDiff diff_checkpoints(const mh5::File& a, const mh5::File& b) {
+  CheckpointDiff diff;
+  const auto paths_a = a.dataset_paths();
+  const auto paths_b = b.dataset_paths();
+
+  for (const auto& p : paths_a) {
+    if (!b.exists(p) || !b.find(p)->is_dataset()) diff.only_in_a.push_back(p);
+  }
+  for (const auto& p : paths_b) {
+    if (!a.exists(p) || !a.find(p)->is_dataset()) diff.only_in_b.push_back(p);
+  }
+
+  for (const auto& p : paths_a) {
+    const mh5::Node* nb = b.find(p);
+    if (nb == nullptr || !nb->is_dataset()) continue;
+    const mh5::Dataset& da = a.dataset(p);
+    const mh5::Dataset& db = nb->dataset();
+
+    DatasetDiff d;
+    d.path = p;
+    d.elements = da.num_elements();
+
+    if (da.dtype() != db.dtype() || da.dims() != db.dims()) {
+      d.changed = d.elements;
+      diff.total_changed += d.changed;
+      diff.datasets.push_back(std::move(d));
+      continue;
+    }
+
+    double abs_sum = 0.0;
+    std::uint64_t finite_changed = 0;
+    for (std::uint64_t i = 0; i < da.num_elements(); ++i) {
+      const std::uint64_t ra = da.element_bits(i), rb = db.element_bits(i);
+      if (ra == rb) continue;
+      ++d.changed;
+      d.bits_flipped +=
+          static_cast<std::uint64_t>(std::popcount(ra ^ rb));
+      const double va = da.get_double(i), vb = db.get_double(i);
+      if (mh5::dtype_is_float(da.dtype())) {
+        if (!std::isfinite(va)) ++d.non_finite_a;
+        if (!std::isfinite(vb)) ++d.non_finite_b;
+        if (std::isfinite(va) && std::isfinite(vb)) {
+          const double delta = std::fabs(va - vb);
+          d.max_abs_delta = std::max(d.max_abs_delta, delta);
+          abs_sum += delta;
+          ++finite_changed;
+        }
+      }
+    }
+    if (finite_changed > 0)
+      d.mean_abs_delta = abs_sum / static_cast<double>(finite_changed);
+    diff.total_changed += d.changed;
+    diff.total_bits_flipped += d.bits_flipped;
+    if (d.changed > 0) diff.datasets.push_back(std::move(d));
+  }
+  return diff;
+}
+
+}  // namespace ckptfi::core

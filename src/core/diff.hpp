@@ -1,0 +1,51 @@
+// Checkpoint diffing: the analysis primitive behind the paper's error
+// propagation study (Fig. 6) and a practical tool for post-mortems of
+// corrupted checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdf5/file.hpp"
+#include "util/stats.hpp"
+
+namespace ckptfi::core {
+
+/// Per-dataset difference summary between two checkpoints.
+struct DatasetDiff {
+  std::string path;
+  std::uint64_t elements = 0;
+  std::uint64_t changed = 0;        ///< bit-level changes
+  std::uint64_t bits_flipped = 0;   ///< Hamming distance over the dataset
+  double max_abs_delta = 0.0;       ///< largest |a - b| among finite pairs
+  double mean_abs_delta = 0.0;      ///< mean |a - b| over changed finite pairs
+  std::uint64_t non_finite_a = 0;   ///< NaN/Inf entries on side a
+  std::uint64_t non_finite_b = 0;   ///< NaN/Inf entries on side b
+};
+
+/// Whole-file diff.
+struct CheckpointDiff {
+  std::vector<DatasetDiff> datasets;     ///< only datasets present in both
+  std::vector<std::string> only_in_a;
+  std::vector<std::string> only_in_b;
+  std::uint64_t total_changed = 0;
+  std::uint64_t total_bits_flipped = 0;
+
+  bool identical() const {
+    return total_changed == 0 && only_in_a.empty() && only_in_b.empty();
+  }
+};
+
+/// Compare two checkpoints dataset-by-dataset. Datasets that exist in both
+/// files but disagree in dtype or shape are treated as fully changed (every
+/// element counted, bits_flipped left 0).
+CheckpointDiff diff_checkpoints(const mh5::File& a, const mh5::File& b);
+
+/// Absolute per-element differences (|a - b|, finite pairs only, nonzero
+/// only) for one dataset — the raw series behind a Fig. 6 boxplot.
+std::vector<double> dataset_deltas(const mh5::Dataset& a,
+                                   const mh5::Dataset& b);
+
+}  // namespace ckptfi::core

@@ -1,0 +1,87 @@
+#include "core/equivalent.hpp"
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+
+ReplayStats replay_injection_log(const InjectionLog& log, mh5::File& target,
+                                 nn::Model& model,
+                                 const fw::FrameworkAdapter& adapter,
+                                 ReplayMode mode, std::uint64_t seed) {
+  ReplayStats stats;
+  Rng rng(seed);
+
+  // Canonical param -> (target path, dims, kind).
+  struct Target {
+    std::string path;
+    Shape dims;
+    fw::ParamKind kind;
+  };
+  std::map<std::string, Target> targets;
+  for (const auto& p : model.params()) {
+    const fw::ParamKind kind = fw::classify_param(p.name, *p.value);
+    targets[p.name] = {adapter.dataset_path(p.name, kind), p.value->shape(),
+                       kind};
+  }
+
+  for (const auto& rec : log.records()) {
+    if (rec.canonical_param.empty()) {
+      ++stats.skipped_no_canonical;
+      continue;
+    }
+    const auto it = targets.find(rec.canonical_param);
+    require(it != targets.end(),
+            "replay: log references unknown parameter '" +
+                rec.canonical_param + "'");
+    const Target& t = it->second;
+    mh5::Dataset& ds = target.dataset(t.path);
+
+    std::uint64_t stored_idx;
+    if (mode == ReplayMode::SameLogicalWeight) {
+      require(rec.canonical_index.has_value(),
+              "replay: SameLogicalWeight needs canonical_index in the log");
+      stored_idx = adapter.stored_index(*rec.canonical_index, t.dims, t.kind);
+    } else {
+      stored_idx = rng.uniform_u64(ds.num_elements());
+    }
+
+    const int width = mh5::dtype_bits(ds.dtype());
+    InjectionRecord out = rec;
+    out.location = t.path;
+    out.index = stored_idx;
+    out.bits.clear();
+
+    if (rec.scale.has_value() && mh5::dtype_is_float(ds.dtype())) {
+      const double old_v = ds.get_double(stored_idx);
+      ds.set_double(stored_idx, old_v * *rec.scale);
+      out.old_value = old_v;
+      out.new_value = ds.get_double(stored_idx);
+    } else {
+      std::uint64_t repr = ds.element_bits(stored_idx);
+      const double old_v = ds.get_double(stored_idx);
+      bool any = false;
+      for (int bit : rec.bits) {
+        if (bit >= width) {
+          ++stats.skipped_bit_width;
+          continue;
+        }
+        repr = flip_bit(repr, bit);
+        out.bits.push_back(bit);
+        any = true;
+      }
+      if (!any && !rec.bits.empty()) continue;  // nothing applicable
+      ds.set_element_bits(stored_idx, repr);
+      out.old_value = old_v;
+      out.new_value = ds.get_double(stored_idx);
+    }
+    ++stats.replayed;
+    stats.log.add(std::move(out));
+  }
+  stats.log.set_meta("replayed_from", log.meta("framework"));
+  stats.log.set_meta("framework", adapter.name());
+  stats.log.set_meta("model", log.meta("model"));
+  return stats;
+}
+
+}  // namespace ckptfi::core

@@ -1,0 +1,42 @@
+// Equivalent injection (paper Section IV-C): replay a saved injection
+// sequence against a checkpoint produced by a *different* framework.
+//
+// The paper's guarantee is "equivalent, not equal": every replayed bit-flip
+// lands (same count, same order, same bit position) in a value belonging to
+// the same *location in the model* (e.g. the first convolutional layer),
+// even though each framework lays the weights out differently. SameLayerBit
+// reproduces exactly that. SameLogicalWeight is a stronger variant this
+// library adds — it maps the canonical element index through the target
+// framework's layout permutation, hitting the identical logical weight —
+// used by the ablation bench to show raw file offsets do NOT transfer while
+// canonical coordinates do.
+#pragma once
+
+#include "core/corrupter.hpp"
+#include "core/injection_log.hpp"
+
+namespace ckptfi::core {
+
+enum class ReplayMode {
+  /// Paper-faithful: same layer, same bit positions, same order; the element
+  /// within the layer is re-drawn from the replayer's seed.
+  SameLayerBit,
+  /// Strict: same canonical element (layout permutations un-done).
+  SameLogicalWeight,
+};
+
+struct ReplayStats {
+  std::uint64_t replayed = 0;
+  std::uint64_t skipped_no_canonical = 0;  ///< record had no canonical coords
+  std::uint64_t skipped_bit_width = 0;     ///< bit beyond target precision
+  InjectionLog log;  ///< the injections as performed on the target
+};
+
+/// Replay `log` onto `target`, a checkpoint of the same model produced by
+/// `adapter`'s framework. `model` supplies the canonical parameter space.
+ReplayStats replay_injection_log(const InjectionLog& log, mh5::File& target,
+                                 nn::Model& model,
+                                 const fw::FrameworkAdapter& adapter,
+                                 ReplayMode mode, std::uint64_t seed);
+
+}  // namespace ckptfi::core

@@ -1,0 +1,143 @@
+#include "core/experiment.hpp"
+
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
+    : cfg_(std::move(cfg)),
+      adapter_(fw::make_adapter(cfg_.framework)),
+      data_(data::make_synthetic_cifar10(cfg_.data_cfg)) {
+  require(cfg_.restart_epoch < cfg_.total_epochs,
+          "ExperimentRunner: restart_epoch must precede total_epochs");
+  train_loader_ = std::make_unique<data::DataLoader>(data_.train,
+                                                     cfg_.batch_size, cfg_.seed);
+  data::DataLoader test_loader(data_.test, cfg_.batch_size, cfg_.seed);
+  test_batches_ = test_loader.sequential_batches();
+}
+
+std::unique_ptr<nn::Model> ExperimentRunner::make_model() const {
+  auto model = models::make_model(cfg_.model, cfg_.model_cfg);
+  model->init(adapter_->init_seed(cfg_.seed));
+  return model;
+}
+
+ModelContext ExperimentRunner::make_context(nn::Model& model) const {
+  return ModelContext(model, *adapter_);
+}
+
+mh5::File ExperimentRunner::clone_bytes(
+    const std::vector<std::uint8_t>& bytes) const {
+  return mh5::File::deserialize(bytes);
+}
+
+void ExperimentRunner::load_into(nn::Model& model,
+                                 const mh5::File& ckpt) const {
+  adapter_->load_from_file(model, ckpt);
+}
+
+void ExperimentRunner::cache_baseline_snapshot() {
+  ckpt_cache_[baseline_epoch_] =
+      adapter_
+          ->checkpoint_to_file(*baseline_model_, cfg_.precision_bits,
+                               static_cast<std::int64_t>(baseline_epoch_))
+          .serialize();
+}
+
+mh5::File ExperimentRunner::checkpoint_at(std::size_t epoch) {
+  const auto hit = ckpt_cache_.find(epoch);
+  if (hit != ckpt_cache_.end()) return clone_bytes(hit->second);
+
+  if (baseline_model_ == nullptr) {
+    baseline_model_ = make_model();
+    nn::TrainConfig tc;
+    tc.epochs = 1;  // advanced one epoch at a time below
+    tc.sgd = cfg_.sgd;
+    baseline_trainer_ =
+        std::make_unique<nn::Trainer>(*baseline_model_, tc);
+    baseline_epoch_ = 0;
+    cache_baseline_snapshot();
+  }
+  // Every epoch <= baseline_epoch_ is already cached, so the request is for
+  // the future: advance the continuous training, snapshotting each epoch.
+  while (baseline_epoch_ < epoch) {
+    baseline_trainer_->train_epoch(train_loader_->batches(baseline_epoch_));
+    ++baseline_epoch_;
+    cache_baseline_snapshot();
+  }
+  return clone_bytes(ckpt_cache_.at(epoch));
+}
+
+const nn::TrainResult& ExperimentRunner::clean_resume() {
+  if (!clean_resume_) {
+    const mh5::File ckpt = restart_checkpoint();
+    clean_resume_ = resume_training(ckpt);
+  }
+  return *clean_resume_;
+}
+
+nn::TrainResult ExperimentRunner::resume_training(const mh5::File& ckpt,
+                                                  std::size_t epochs) {
+  return resume_training_with_model(ckpt, epochs).first;
+}
+
+std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
+ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
+                                             std::size_t epochs) {
+  const auto from_epoch =
+      static_cast<std::size_t>(fw::checkpoint_epoch(ckpt));
+  if (epochs == 0) {
+    require(cfg_.total_epochs > from_epoch,
+            "resume_training: checkpoint is at/past total_epochs");
+    epochs = cfg_.total_epochs - from_epoch;
+  }
+  auto model = make_model();
+  load_into(*model, ckpt);
+
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.sgd = cfg_.sgd;
+  nn::Trainer trainer(*model, tc);
+  // Like the paper's checkpoints, ours hold weights only: optimizer velocity
+  // restarts at zero on resume (the source of Fig. 3b's slight bump).
+  nn::TrainResult result =
+      trainer.fit(train_loader_->provider(), test_batches_, from_epoch);
+  return {std::move(result), std::move(model)};
+}
+
+nn::EvalResult ExperimentRunner::predict(const mh5::File& ckpt) {
+  auto model = make_model();
+  load_into(*model, ckpt);
+  return nn::evaluate_with_nev(*model, test_batches_);
+}
+
+nn::EvalResult ExperimentRunner::predict_subset(const mh5::File& ckpt,
+                                                std::size_t part,
+                                                std::size_t num_parts) {
+  require(num_parts > 0 && part < num_parts,
+          "predict_subset: bad part/num_parts");
+  auto model = make_model();
+  load_into(*model, ckpt);
+  std::vector<nn::Batch> slice;
+  for (std::size_t i = part; i < test_batches_.size(); i += num_parts) {
+    nn::Batch b;
+    b.x = test_batches_[i].x;
+    b.y = test_batches_[i].y;
+    slice.push_back(std::move(b));
+  }
+  require(!slice.empty(), "predict_subset: empty slice");
+  return nn::evaluate_with_nev(*model, slice);
+}
+
+std::map<std::string, std::vector<double>> ExperimentRunner::weights_of(
+    const mh5::File& ckpt) {
+  auto model = make_model();
+  load_into(*model, ckpt);
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& p : model->params()) {
+    out[p.name] = p.value->vec();
+  }
+  return out;
+}
+
+}  // namespace ckptfi::core

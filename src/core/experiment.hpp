@@ -1,0 +1,111 @@
+// ExperimentRunner: the train -> checkpoint -> corrupt -> resume/predict
+// pipeline behind every experiment in the paper's evaluation.
+//
+// A runner owns one (framework, model, precision) combination plus the
+// dataset, and caches clean checkpoints by epoch so that 250-training
+// experiment cells do not retrain their baseline. All trainings are
+// deterministic: identical seeds and schedules produce bit-identical runs,
+// which is what makes "restarted with no change in accuracy" measurable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/corrupter.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "frameworks/framework.hpp"
+#include "models/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace ckptfi::core {
+
+struct ExperimentConfig {
+  std::string framework = "chainer";
+  std::string model = "alexnet";
+  models::ModelConfig model_cfg;
+  data::SyntheticCifarConfig data_cfg;
+  std::size_t batch_size = 32;
+  nn::SgdConfig sgd{/*lr=*/0.02, /*momentum=*/0.9, /*weight_decay=*/5e-4};
+  /// Full training length (the paper's 100 epochs, scaled down).
+  std::size_t total_epochs = 10;
+  /// Epoch whose checkpoint gets corrupted (the paper's epoch 20).
+  std::size_t restart_epoch = 3;
+  /// Checkpoint storage precision.
+  int precision_bits = 64;
+  std::uint64_t seed = 42;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig cfg);
+
+  const ExperimentConfig& config() const { return cfg_; }
+  const fw::FrameworkAdapter& adapter() const { return *adapter_; }
+  const data::TrainTestSplit& data() const { return data_; }
+
+  /// Fresh model with this framework's deterministic initialisation.
+  std::unique_ptr<nn::Model> make_model() const;
+
+  /// Model context for canonical-coordinate logging.
+  ModelContext make_context(nn::Model& model) const;
+
+  /// Clean checkpoint at `epoch`, snapshotted from one continuous baseline
+  /// training (like the paper's: train once, checkpoint along the way — so
+  /// optimizer state is continuous across snapshots and a given epoch's
+  /// checkpoint does not depend on which epochs were requested first).
+  /// Returns a fresh mutable copy each call — corrupt it freely.
+  mh5::File checkpoint_at(std::size_t epoch);
+
+  /// checkpoint_at(config().restart_epoch).
+  mh5::File restart_checkpoint() { return checkpoint_at(cfg_.restart_epoch); }
+
+  /// Clean resumed run restart_epoch -> total_epochs (computed once).
+  const nn::TrainResult& clean_resume();
+
+  /// Resume training from `ckpt` for `epochs` epochs (or to total_epochs
+  /// when epochs == 0). The epoch counter continues from the checkpoint's
+  /// recorded epoch, so batch schedules line up with the clean run.
+  nn::TrainResult resume_training(const mh5::File& ckpt,
+                                  std::size_t epochs = 0);
+
+  /// Same, but also hands back the trained model (for weight-propagation
+  /// studies, paper Fig. 6).
+  std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
+  resume_training_with_model(const mh5::File& ckpt, std::size_t epochs = 0);
+
+  /// Load `ckpt` and evaluate on the full test set (paper Table VIII uses
+  /// prediction-only runs). NaN logits count as N-EV.
+  nn::EvalResult predict(const mh5::File& ckpt);
+
+  /// Evaluate on the `part`-th of `num_parts` slices of the test set — the
+  /// paper's "10 predictions, each over different images".
+  nn::EvalResult predict_subset(const mh5::File& ckpt, std::size_t part,
+                                std::size_t num_parts);
+
+  /// Canonical-name -> weight values snapshot of a checkpoint.
+  std::map<std::string, std::vector<double>> weights_of(const mh5::File& ckpt);
+
+ private:
+  mh5::File clone_bytes(const std::vector<std::uint8_t>& bytes) const;
+  void load_into(nn::Model& model, const mh5::File& ckpt) const;
+
+  void cache_baseline_snapshot();
+
+  ExperimentConfig cfg_;
+  std::unique_ptr<fw::FrameworkAdapter> adapter_;
+  data::TrainTestSplit data_;
+  std::unique_ptr<data::DataLoader> train_loader_;
+  std::vector<nn::Batch> test_batches_;
+  // One continuous clean training, advanced lazily; snapshots cached per
+  // epoch as serialized checkpoint bytes.
+  std::unique_ptr<nn::Model> baseline_model_;
+  std::unique_ptr<nn::Trainer> baseline_trainer_;
+  std::size_t baseline_epoch_ = 0;
+  std::map<std::size_t, std::vector<std::uint8_t>> ckpt_cache_;
+  std::optional<nn::TrainResult> clean_resume_;
+};
+
+}  // namespace ckptfi::core

@@ -1,0 +1,44 @@
+#include "core/nev.hpp"
+
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+void classify(double v, NevScan& scan) {
+  ++scan.total;
+  if (std::isnan(v)) {
+    ++scan.nan;
+  } else if (std::isinf(v)) {
+    ++scan.inf;
+  } else if (std::fabs(v) > kExtremeThreshold) {
+    ++scan.extreme;
+  }
+}
+
+}  // namespace
+
+NevScan scan_checkpoint(const mh5::File& file) {
+  NevScan scan;
+  file.visit([&](const std::string&, const mh5::Node& node) {
+    if (!node.is_dataset()) return;
+    const mh5::Dataset& ds = node.dataset();
+    if (!mh5::dtype_is_float(ds.dtype())) return;
+    for (std::uint64_t i = 0; i < ds.num_elements(); ++i) {
+      classify(ds.get_double(i), scan);
+    }
+  });
+  return scan;
+}
+
+NevScan scan_model(nn::Model& model) {
+  NevScan scan;
+  for (const auto& p : model.params()) {
+    for (double v : p.value->vec()) classify(v, scan);
+  }
+  return scan;
+}
+
+}  // namespace ckptfi::core

@@ -1,0 +1,30 @@
+// N-EV detection: NaN and extreme values (paper Section V-B).
+//
+// "Extreme values" are finite values so large that computing with them
+// collapses the network; the paper groups them with NaN/Inf as "N-EV".
+#pragma once
+
+#include <cstdint>
+
+#include "hdf5/file.hpp"
+#include "nn/model.hpp"
+
+namespace ckptfi::core {
+
+struct NevScan {
+  std::uint64_t total = 0;    ///< entries scanned
+  std::uint64_t nan = 0;      ///< NaN entries
+  std::uint64_t inf = 0;      ///< +/-Inf entries
+  std::uint64_t extreme = 0;  ///< finite |v| > kExtremeThreshold
+
+  std::uint64_t nev() const { return nan + inf + extreme; }
+  bool any() const { return nev() > 0; }
+};
+
+/// Scan every float dataset in a checkpoint.
+NevScan scan_checkpoint(const mh5::File& file);
+
+/// Scan a live model's parameters.
+NevScan scan_model(nn::Model& model);
+
+}  // namespace ckptfi::core

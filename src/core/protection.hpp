@@ -1,0 +1,48 @@
+// N-EV guard: detection and repair of NaN / Inf / extreme values in a
+// checkpoint before it is loaded.
+//
+// The paper's Discussion (Section VI.1) observes that "if the detection of
+// N-EV was implemented at either the hardware or software level, then DL
+// platforms would be virtually unbreakable" — because essentially only
+// corruption that produces extreme values is catastrophic. This module
+// implements that software-level guard; bench_ablation_nev_guard measures
+// how much of the collapse it removes.
+#pragma once
+
+#include <cstdint>
+
+#include "hdf5/file.hpp"
+
+namespace ckptfi::core {
+
+/// What to do with a detected N-EV entry.
+enum class RepairAction {
+  Reject,  ///< only report; caller falls back to an older checkpoint
+  Zero,    ///< overwrite with 0.0 (weight pruning semantics)
+  Clamp,   ///< clamp magnitude to the threshold, preserving sign; NaN -> 0
+};
+
+struct GuardConfig {
+  /// Finite values with magnitude above this are treated as extreme.
+  double extreme_threshold = 1e30;
+  RepairAction action = RepairAction::Zero;
+};
+
+struct GuardReport {
+  std::uint64_t scanned = 0;
+  std::uint64_t nan_found = 0;
+  std::uint64_t inf_found = 0;
+  std::uint64_t extreme_found = 0;
+  /// Entries rewritten (0 when action == Reject).
+  std::uint64_t repaired = 0;
+
+  std::uint64_t found() const { return nan_found + inf_found + extreme_found; }
+  /// True when the checkpoint should not be used as-is (Reject mode with
+  /// findings).
+  bool rejected = false;
+};
+
+/// Scan every float dataset of `file`; repair according to `cfg`.
+GuardReport guard_checkpoint(mh5::File& file, const GuardConfig& cfg = {});
+
+}  // namespace ckptfi::core

@@ -1,0 +1,45 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size())
+        line += std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace ckptfi::core

@@ -1,0 +1,24 @@
+// Plain-text table rendering for the bench harnesses (paper-style rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ckptfi::core {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header rule.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ckptfi::core

@@ -1,0 +1,147 @@
+#include "data/synthetic_cifar.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace ckptfi::data {
+namespace {
+
+/// Per-class texture parameters, a pure function of the class id.
+struct ClassPattern {
+  double angle;       ///< orientation of the sinusoid
+  double freq;        ///< spatial frequency
+  double color[3];    ///< per-channel gain
+  double blob_x, blob_y;  ///< centre of a Gaussian blob highlight
+};
+
+ClassPattern class_pattern(std::size_t k, std::size_t num_classes) {
+  ClassPattern p;
+  const double t = static_cast<double>(k) / static_cast<double>(num_classes);
+  p.angle = M_PI * t;
+  p.freq = 2.0 + 1.5 * static_cast<double>(k % 5);
+  p.color[0] = 0.5 + 0.5 * std::cos(2 * M_PI * t);
+  p.color[1] = 0.5 + 0.5 * std::cos(2 * M_PI * t + 2.0);
+  p.color[2] = 0.5 + 0.5 * std::cos(2 * M_PI * t + 4.0);
+  p.blob_x = 0.2 + 0.6 * ((static_cast<double>(k) * 0.37) -
+                          std::floor(static_cast<double>(k) * 0.37));
+  p.blob_y = 0.2 + 0.6 * ((static_cast<double>(k) * 0.61) -
+                          std::floor(static_cast<double>(k) * 0.61));
+  return p;
+}
+
+Dataset generate(std::size_t n, const SyntheticCifarConfig& cfg, Rng& rng) {
+  Dataset ds;
+  ds.images = Tensor({n, cfg.channels, cfg.height, cfg.width});
+  ds.labels.resize(n);
+
+  const std::size_t hw = cfg.height * cfg.width;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<std::uint8_t>(i % cfg.num_classes);
+    ds.labels[i] = label;
+    const ClassPattern p = class_pattern(label, cfg.num_classes);
+    // Per-image jitter keeps images within a class distinct.
+    const double phase = rng.uniform(0.0, 2 * M_PI);
+    const double amp = rng.uniform(0.7, 1.3);
+    const double ca = std::cos(p.angle), sa = std::sin(p.angle);
+
+    for (std::size_t c = 0; c < cfg.channels; ++c) {
+      double* img = ds.images.data() + (i * cfg.channels + c) * hw;
+      for (std::size_t y = 0; y < cfg.height; ++y) {
+        for (std::size_t x = 0; x < cfg.width; ++x) {
+          const double u = static_cast<double>(x) /
+                           static_cast<double>(cfg.width);
+          const double v = static_cast<double>(y) /
+                           static_cast<double>(cfg.height);
+          const double r = u * ca + v * sa;
+          const double wave =
+              std::sin(2 * M_PI * p.freq * r + phase) * amp;
+          const double du = u - p.blob_x, dv = v - p.blob_y;
+          const double blob = std::exp(-(du * du + dv * dv) / 0.02);
+          const double signal =
+              p.color[c % 3] * (0.6 * wave + 0.8 * blob - 0.3);
+          img[y * cfg.width + x] = signal + cfg.noise * rng.normal();
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTestSplit make_synthetic_cifar10(const SyntheticCifarConfig& cfg) {
+  require(cfg.num_classes > 0 && cfg.num_classes <= 256,
+          "make_synthetic_cifar10: num_classes must fit uint8");
+  Rng rng(cfg.seed);
+  Rng train_rng = rng.fork();
+  Rng test_rng = rng.fork();
+  TrainTestSplit split;
+  split.train = generate(cfg.num_train, cfg, train_rng);
+  split.test = generate(cfg.num_test, cfg, test_rng);
+  return split;
+}
+
+DataLoader::DataLoader(const Dataset& ds, std::size_t batch_size,
+                       std::uint64_t seed)
+    : ds_(ds), batch_size_(batch_size), seed_(seed) {
+  require(batch_size_ > 0, "DataLoader: batch_size must be positive");
+  require(ds_.size() > 0, "DataLoader: empty dataset");
+}
+
+std::vector<nn::Batch> DataLoader::batches(std::size_t epoch) const {
+  std::vector<std::size_t> order(ds_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stream derived from (seed, epoch): resuming at epoch k replays the exact
+  // batch order the uninterrupted run would have used.
+  Rng rng(seed_ ^ (0x51ed2700baadf00dull + epoch * 0x9e3779b97f4a7c15ull));
+  rng.shuffle(order);
+
+  const std::size_t c = ds_.images.dim(1), h = ds_.images.dim(2),
+                    w = ds_.images.dim(3);
+  const std::size_t img_size = c * h * w;
+  std::vector<nn::Batch> out;
+  for (std::size_t start = 0; start < order.size(); start += batch_size_) {
+    const std::size_t bn = std::min(batch_size_, order.size() - start);
+    nn::Batch b;
+    b.x = Tensor({bn, c, h, w});
+    b.y.resize(bn);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::size_t src = order[start + j];
+      const double* from = ds_.images.data() + src * img_size;
+      double* to = b.x.data() + j * img_size;
+      for (std::size_t t = 0; t < img_size; ++t) to[t] = from[t];
+      b.y[j] = ds_.labels[src];
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<nn::Batch> DataLoader::sequential_batches() const {
+  const std::size_t c = ds_.images.dim(1), h = ds_.images.dim(2),
+                    w = ds_.images.dim(3);
+  const std::size_t img_size = c * h * w;
+  std::vector<nn::Batch> out;
+  for (std::size_t start = 0; start < ds_.size(); start += batch_size_) {
+    const std::size_t bn = std::min(batch_size_, ds_.size() - start);
+    nn::Batch b;
+    b.x = Tensor({bn, c, h, w});
+    b.y.resize(bn);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const double* from = ds_.images.data() + (start + j) * img_size;
+      double* to = b.x.data() + j * img_size;
+      for (std::size_t t = 0; t < img_size; ++t) to[t] = from[t];
+      b.y[j] = ds_.labels[start + j];
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+nn::BatchProvider DataLoader::provider() const {
+  return [this](std::size_t epoch) { return batches(epoch); };
+}
+
+}  // namespace ckptfi::data

@@ -1,0 +1,72 @@
+#include "hdf5/dtype.hpp"
+
+#include "util/common.hpp"
+
+namespace ckptfi::mh5 {
+
+std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F16:
+      return 2;
+    case DType::F32:
+      return 4;
+    case DType::F64:
+      return 8;
+    case DType::I32:
+      return 4;
+    case DType::I64:
+      return 8;
+    case DType::U8:
+      return 1;
+  }
+  throw InvalidArgument("dtype_size: bad dtype");
+}
+
+bool dtype_is_float(DType t) {
+  return t == DType::F16 || t == DType::F32 || t == DType::F64;
+}
+
+int dtype_bits(DType t) { return static_cast<int>(dtype_size(t)) * 8; }
+
+std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::F16:
+      return "f16";
+    case DType::F32:
+      return "f32";
+    case DType::F64:
+      return "f64";
+    case DType::I32:
+      return "i32";
+    case DType::I64:
+      return "i64";
+    case DType::U8:
+      return "u8";
+  }
+  throw InvalidArgument("dtype_name: bad dtype");
+}
+
+DType dtype_from_name(const std::string& name) {
+  if (name == "f16") return DType::F16;
+  if (name == "f32") return DType::F32;
+  if (name == "f64") return DType::F64;
+  if (name == "i32") return DType::I32;
+  if (name == "i64") return DType::I64;
+  if (name == "u8") return DType::U8;
+  throw FormatError("dtype_from_name: unknown dtype '" + name + "'");
+}
+
+DType float_dtype_for_bits(int bits) {
+  switch (bits) {
+    case 16:
+      return DType::F16;
+    case 32:
+      return DType::F32;
+    case 64:
+      return DType::F64;
+    default:
+      throw InvalidArgument("float_dtype_for_bits: unsupported width");
+  }
+}
+
+}  // namespace ckptfi::mh5

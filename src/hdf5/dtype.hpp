@@ -1,0 +1,39 @@
+// Element types for mh5 datasets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ckptfi::mh5 {
+
+/// Storable element types. F* are IEEE-754; I* are two's-complement
+/// little-endian integers.
+enum class DType : std::uint8_t {
+  F16 = 0,
+  F32 = 1,
+  F64 = 2,
+  I32 = 3,
+  I64 = 4,
+  U8 = 5,
+};
+
+/// Size of one element in bytes.
+std::size_t dtype_size(DType t);
+
+/// True for F16/F32/F64.
+bool dtype_is_float(DType t);
+
+/// Bit width of the element (8..64).
+int dtype_bits(DType t);
+
+/// Human-readable name ("f32", "i64", ...).
+std::string dtype_name(DType t);
+
+/// Parse a dtype name; throws FormatError on unknown names.
+DType dtype_from_name(const std::string& name);
+
+/// The float dtype with the given bit width (16/32/64).
+DType float_dtype_for_bits(int bits);
+
+}  // namespace ckptfi::mh5

@@ -1,0 +1,331 @@
+#include "hdf5/file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/common.hpp"
+#include "util/crc32.hpp"
+#include "util/strings.hpp"
+
+namespace ckptfi::mh5 {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'H', '5', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- byte stream helpers ---
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, 8);
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, 8);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > size_) throw FormatError("mh5: truncated file");
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void write_attrs(Writer& w, const Node& node) {
+  w.u32(static_cast<std::uint32_t>(node.attrs().size()));
+  for (const auto& [name, value] : node.attrs()) {
+    w.str(name);
+    if (std::holds_alternative<std::int64_t>(value)) {
+      w.u8(0);
+      w.i64(std::get<std::int64_t>(value));
+    } else if (std::holds_alternative<double>(value)) {
+      w.u8(1);
+      w.f64(std::get<double>(value));
+    } else {
+      w.u8(2);
+      w.str(std::get<std::string>(value));
+    }
+  }
+}
+
+void read_attrs(Reader& r, Node& node) {
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint8_t type = r.u8();
+    switch (type) {
+      case 0:
+        node.set_attr(name, r.i64());
+        break;
+      case 1:
+        node.set_attr(name, r.f64());
+        break;
+      case 2:
+        node.set_attr(name, r.str());
+        break;
+      default:
+        throw FormatError("mh5: bad attribute type");
+    }
+  }
+}
+
+void write_node(Writer& w, const Node& node) {
+  if (node.is_group()) {
+    w.u8(0);
+    write_attrs(w, node);
+    w.u32(static_cast<std::uint32_t>(node.children().size()));
+    for (const auto& [name, child] : node.children()) {
+      w.str(name);
+      write_node(w, *child);
+    }
+  } else {
+    w.u8(1);
+    write_attrs(w, node);
+    const Dataset& ds = node.dataset();
+    w.u8(static_cast<std::uint8_t>(ds.dtype()));
+    w.u32(static_cast<std::uint32_t>(ds.rank()));
+    for (auto d : ds.dims()) w.u64(d);
+    w.u64(ds.raw().size());
+    w.raw(ds.raw().data(), ds.raw().size());
+    w.u32(crc32(ds.raw().data(), ds.raw().size()));
+  }
+}
+
+std::unique_ptr<Node> read_node(Reader& r) {
+  const std::uint8_t kind = r.u8();
+  if (kind == 0) {
+    auto node = std::make_unique<Node>();
+    read_attrs(r, *node);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string name = r.str();
+      node->add_child(name, read_node(r));
+    }
+    return node;
+  }
+  if (kind == 1) {
+    // Read attributes into a temp group node, then move onto the dataset.
+    Node attr_holder;
+    read_attrs(r, attr_holder);
+    const auto dtype = static_cast<DType>(r.u8());
+    dtype_size(dtype);  // validates
+    const std::uint32_t ndim = r.u32();
+    std::vector<std::uint64_t> dims(ndim);
+    for (auto& d : dims) d = r.u64();
+    Dataset ds(dtype, std::move(dims));
+    const std::uint64_t nbytes = r.u64();
+    if (nbytes != ds.raw().size())
+      throw FormatError("mh5: dataset byte count mismatch");
+    r.raw(ds.raw().data(), ds.raw().size());
+    const std::uint32_t crc = r.u32();
+    if (crc != crc32(ds.raw().data(), ds.raw().size()))
+      throw FormatError("mh5: dataset CRC mismatch");
+    auto node = std::make_unique<Node>(std::move(ds));
+    for (const auto& [k, v] : attr_holder.attrs()) node->set_attr(k, v);
+    return node;
+  }
+  throw FormatError("mh5: bad node kind");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> File::serialize() const {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.raw(kMagic, 4);
+  w.u32(kVersion);
+  write_node(w, *root_);
+  return out;
+}
+
+File File::deserialize(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes.data(), bytes.size());
+  char magic[4];
+  r.raw(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw FormatError("mh5: bad magic (not an mh5 file)");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw FormatError("mh5: unsupported version " + std::to_string(version));
+  File f;
+  f.root_ = read_node(r);
+  if (!r.at_end()) throw FormatError("mh5: trailing bytes");
+  return f;
+}
+
+File File::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("mh5: cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+void File::save(const std::string& path) const {
+  const auto bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("mh5: cannot write '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Error("mh5: write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw Error("mh5: rename failed for '" + path + "'");
+}
+
+Node& File::create_group(const std::string& path) {
+  Node* cur = root_.get();
+  for (const auto& seg : split_path(path)) {
+    Node* next = cur->find(seg);
+    if (next == nullptr) {
+      next = &cur->add_child(seg, std::make_unique<Node>());
+    }
+    require(next->is_group(),
+            "mh5: '" + seg + "' in '" + path + "' is a dataset");
+    cur = next;
+  }
+  return *cur;
+}
+
+Dataset& File::create_dataset(const std::string& path, DType dtype,
+                              std::vector<std::uint64_t> dims) {
+  auto parts = split_path(path);
+  require(!parts.empty(), "mh5: empty dataset path");
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  Node& parent = create_group(join_path(parts));
+  require(parent.find(leaf) == nullptr,
+          "mh5: path already exists: '" + path + "'");
+  Node& node =
+      parent.add_child(leaf, std::make_unique<Node>(Dataset(dtype, dims)));
+  return node.dataset();
+}
+
+Node* File::find(const std::string& path) {
+  Node* cur = root_.get();
+  for (const auto& seg : split_path(path)) {
+    if (!cur->is_group()) return nullptr;
+    cur = cur->find(seg);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+const Node* File::find(const std::string& path) const {
+  return const_cast<File*>(this)->find(path);
+}
+
+Dataset& File::dataset(const std::string& path) {
+  Node* n = find(path);
+  require(n != nullptr, "mh5: no such path '" + path + "'");
+  return n->dataset();
+}
+
+const Dataset& File::dataset(const std::string& path) const {
+  const Node* n = find(path);
+  require(n != nullptr, "mh5: no such path '" + path + "'");
+  return n->dataset();
+}
+
+bool File::remove(const std::string& path) {
+  auto parts = split_path(path);
+  if (parts.empty()) return false;
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  Node* parent = find(join_path(parts));
+  if (parent == nullptr || !parent->is_group()) return false;
+  return parent->remove_child(leaf);
+}
+
+void File::visit(
+    const std::function<void(const std::string&, const Node&)>& fn) const {
+  std::function<void(const std::string&, const Node&)> rec =
+      [&](const std::string& path, const Node& node) {
+        fn(path, node);
+        if (node.is_group()) {
+          for (const auto& [name, child] : node.children()) {
+            rec(path.empty() ? name : path + "/" + name, *child);
+          }
+        }
+      };
+  rec("", *root_);
+}
+
+std::vector<std::string> File::dataset_paths() const {
+  std::vector<std::string> out;
+  visit([&](const std::string& path, const Node& node) {
+    if (node.is_dataset()) out.push_back(path);
+  });
+  return out;
+}
+
+std::uint64_t File::total_entries() const {
+  std::uint64_t total = 0;
+  visit([&](const std::string&, const Node& node) {
+    if (node.is_dataset()) total += node.dataset().num_elements();
+  });
+  return total;
+}
+
+}  // namespace ckptfi::mh5

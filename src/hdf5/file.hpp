@@ -1,0 +1,80 @@
+// mh5 file: a rooted Node tree plus binary (de)serialization.
+//
+// File layout (all little-endian):
+//   magic "MH5F" | u32 version | node
+//   node      := u8 kind(0 group,1 dataset) | attrs | body
+//   attrs     := u32 count | { str name | u8 type(0 i64,1 f64,2 str) | value }
+//   group     := u32 nchildren | { str name | node }
+//   dataset   := u8 dtype | u32 ndim | u64 dims[] | u64 nbytes | bytes | u32 crc
+//   str       := u32 len | bytes
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hdf5/node.hpp"
+
+namespace ckptfi::mh5 {
+
+/// An open mh5 document. Unlike HDF5 the whole tree lives in memory; save()
+/// writes it back atomically (temp file + rename).
+class File {
+ public:
+  File() : root_(std::make_unique<Node>()) {}
+
+  /// Load from disk; throws FormatError on corruption (CRC mismatch, bad
+  /// magic, truncation).
+  static File load(const std::string& path);
+
+  /// Serialize to disk.
+  void save(const std::string& path) const;
+
+  // In-memory (de)serialization, used by save/load and by tests.
+  std::vector<std::uint8_t> serialize() const;
+  static File deserialize(const std::vector<std::uint8_t>& bytes);
+
+  Node& root() { return *root_; }
+  const Node& root() const { return *root_; }
+
+  // --- path API (h5py-flavoured) ---
+
+  /// Create (or return existing) groups along "a/b/c".
+  Node& create_group(const std::string& path);
+
+  /// Create a dataset at `path` (parent groups are created as needed).
+  /// Throws if the path already exists.
+  Dataset& create_dataset(const std::string& path, DType dtype,
+                          std::vector<std::uint64_t> dims);
+
+  /// Node lookup; nullptr when absent.
+  Node* find(const std::string& path);
+  const Node* find(const std::string& path) const;
+
+  bool exists(const std::string& path) const { return find(path) != nullptr; }
+
+  /// Dataset at `path`; throws if absent or a group.
+  Dataset& dataset(const std::string& path);
+  const Dataset& dataset(const std::string& path) const;
+
+  /// Remove the node at `path`; returns false if absent.
+  bool remove(const std::string& path);
+
+  /// Depth-first visit of every node; fn(path, node). Root is visited with
+  /// the empty path.
+  void visit(
+      const std::function<void(const std::string&, const Node&)>& fn) const;
+
+  /// Full paths of all datasets, in tree order (the corrupter's location
+  /// universe when use_random_locations is set).
+  std::vector<std::string> dataset_paths() const;
+
+  /// Total number of corruptible entries (sum of num_elements over all
+  /// datasets) — the denominator for percentage-type injection budgets.
+  std::uint64_t total_entries() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ckptfi::mh5

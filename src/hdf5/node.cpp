@@ -1,0 +1,196 @@
+#include "hdf5/node.hpp"
+
+#include <cstring>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+#include "util/crc32.hpp"
+
+namespace ckptfi::mh5 {
+
+Dataset::Dataset(DType dtype, std::vector<std::uint64_t> dims)
+    : dtype_(dtype), dims_(std::move(dims)) {
+  nelem_ = 1;
+  for (auto d : dims_) {
+    require(d > 0, "Dataset: zero-sized dimension");
+    nelem_ *= d;
+  }
+  if (dims_.empty()) nelem_ = 1;  // scalar
+  raw_.assign(nelem_ * dtype_size(dtype_), 0);
+}
+
+void Dataset::check_index(std::uint64_t i) const {
+  if (i >= nelem_)
+    throw InvalidArgument("Dataset: index " + std::to_string(i) +
+                          " out of range (n=" + std::to_string(nelem_) + ")");
+}
+
+std::uint64_t Dataset::element_bits(std::uint64_t i) const {
+  check_index(i);
+  const std::size_t sz = dtype_size(dtype_);
+  std::uint64_t repr = 0;
+  std::memcpy(&repr, raw_.data() + i * sz, sz);
+  return repr;
+}
+
+void Dataset::set_element_bits(std::uint64_t i, std::uint64_t repr) {
+  check_index(i);
+  const std::size_t sz = dtype_size(dtype_);
+  std::memcpy(raw_.data() + i * sz, &repr, sz);
+}
+
+double Dataset::get_double(std::uint64_t i) const {
+  const std::uint64_t repr = element_bits(i);
+  switch (dtype_) {
+    case DType::F16:
+    case DType::F32:
+    case DType::F64:
+      return decode_float(repr, dtype_bits(dtype_));
+    case DType::I32:
+      return static_cast<double>(static_cast<std::int32_t>(repr));
+    case DType::I64:
+      return static_cast<double>(static_cast<std::int64_t>(repr));
+    case DType::U8:
+      return static_cast<double>(repr & 0xffu);
+  }
+  throw InvalidArgument("Dataset::get_double: bad dtype");
+}
+
+void Dataset::set_double(std::uint64_t i, double v) {
+  switch (dtype_) {
+    case DType::F16:
+    case DType::F32:
+    case DType::F64:
+      set_element_bits(i, encode_float(v, dtype_bits(dtype_)));
+      return;
+    case DType::I32:
+      set_element_bits(i, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(v)));
+      return;
+    case DType::I64:
+      set_element_bits(
+          i, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+      return;
+    case DType::U8:
+      set_element_bits(i, static_cast<std::uint64_t>(
+                              static_cast<std::uint8_t>(v)));
+      return;
+  }
+  throw InvalidArgument("Dataset::set_double: bad dtype");
+}
+
+std::int64_t Dataset::get_int(std::uint64_t i) const {
+  const std::uint64_t repr = element_bits(i);
+  switch (dtype_) {
+    case DType::I32:
+      return static_cast<std::int32_t>(repr);
+    case DType::I64:
+      return static_cast<std::int64_t>(repr);
+    case DType::U8:
+      return static_cast<std::int64_t>(repr & 0xffu);
+    default:
+      return static_cast<std::int64_t>(get_double(i));
+  }
+}
+
+void Dataset::set_int(std::uint64_t i, std::int64_t v) {
+  switch (dtype_) {
+    case DType::I32:
+      set_element_bits(i, static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(v)));
+      return;
+    case DType::I64:
+      set_element_bits(i, static_cast<std::uint64_t>(v));
+      return;
+    case DType::U8:
+      set_element_bits(i, static_cast<std::uint64_t>(v) & 0xffu);
+      return;
+    default:
+      set_double(i, static_cast<double>(v));
+  }
+}
+
+std::vector<double> Dataset::read_doubles() const {
+  std::vector<double> out(nelem_);
+  for (std::uint64_t i = 0; i < nelem_; ++i) out[i] = get_double(i);
+  return out;
+}
+
+void Dataset::write_doubles(const std::vector<double>& v) {
+  require(v.size() == nelem_, "Dataset::write_doubles: size mismatch");
+  for (std::uint64_t i = 0; i < nelem_; ++i) set_double(i, v[i]);
+}
+
+std::uint32_t Dataset::checksum() const {
+  return crc32(raw_.data(), raw_.size());
+}
+
+Dataset& Node::dataset() {
+  require(is_dataset(), "Node: not a dataset");
+  return *dataset_;
+}
+
+const Dataset& Node::dataset() const {
+  require(is_dataset(), "Node: not a dataset");
+  return *dataset_;
+}
+
+Node* Node::find(const std::string& name) {
+  for (auto& [k, v] : children_) {
+    if (k == name) return v.get();
+  }
+  return nullptr;
+}
+
+const Node* Node::find(const std::string& name) const {
+  for (const auto& [k, v] : children_) {
+    if (k == name) return v.get();
+  }
+  return nullptr;
+}
+
+Node& Node::add_child(const std::string& name, std::unique_ptr<Node> child) {
+  require(is_group(), "Node::add_child: cannot add children to a dataset");
+  require(!name.empty() && name.find('/') == std::string::npos,
+          "Node::add_child: bad child name '" + name + "'");
+  require(find(name) == nullptr,
+          "Node::add_child: duplicate child '" + name + "'");
+  children_.emplace_back(name, std::move(child));
+  return *children_.back().second;
+}
+
+bool Node::remove_child(const std::string& name) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->first == name) {
+      children_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::set_attr(const std::string& name, AttrValue v) {
+  for (auto& [k, val] : attrs_) {
+    if (k == name) {
+      val = std::move(v);
+      return;
+    }
+  }
+  attrs_.emplace_back(name, std::move(v));
+}
+
+bool Node::has_attr(const std::string& name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+const AttrValue& Node::attr(const std::string& name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return v;
+  }
+  throw InvalidArgument("Node: missing attribute '" + name + "'");
+}
+
+}  // namespace ckptfi::mh5

@@ -1,0 +1,120 @@
+// In-memory tree of an mh5 file: groups, datasets and attributes.
+//
+// This is the library's stand-in for HDF5 (see DESIGN.md): a hierarchical
+// container of typed numeric arrays addressable by '/'-separated paths,
+// with an h5py-flavoured API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hdf5/dtype.hpp"
+
+namespace ckptfi::mh5 {
+
+/// Attribute values: int, double or string (like HDF5 scalar attributes).
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+/// A typed N-dimensional array. Elements are stored contiguously in row-major
+/// order as raw little-endian bytes, so the fault injector can operate on the
+/// exact on-disk bit representation.
+class Dataset {
+ public:
+  Dataset(DType dtype, std::vector<std::uint64_t> dims);
+
+  DType dtype() const { return dtype_; }
+  const std::vector<std::uint64_t>& dims() const { return dims_; }
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Product of dims (number of elements).
+  std::uint64_t num_elements() const { return nelem_; }
+
+  /// Raw storage (size = num_elements() * dtype_size(dtype)).
+  std::vector<std::uint8_t>& raw() { return raw_; }
+  const std::vector<std::uint8_t>& raw() const { return raw_; }
+
+  // --- bit-level element access (the injector's view) ---
+
+  /// Bit representation of element i in the low dtype_bits() bits of a u64.
+  std::uint64_t element_bits(std::uint64_t i) const;
+  void set_element_bits(std::uint64_t i, std::uint64_t repr);
+
+  // --- numeric element access ---
+
+  /// Element i as double (floats decode; integers convert).
+  double get_double(std::uint64_t i) const;
+  /// Set element i from a double (floats encode with round-to-nearest;
+  /// integers truncate).
+  void set_double(std::uint64_t i, double v);
+
+  std::int64_t get_int(std::uint64_t i) const;
+  void set_int(std::uint64_t i, std::int64_t v);
+
+  /// Bulk read into doubles.
+  std::vector<double> read_doubles() const;
+  /// Bulk write from doubles (size must equal num_elements()).
+  void write_doubles(const std::vector<double>& v);
+
+  /// CRC-32 of the raw bytes (used for file integrity and for ablation
+  /// comparisons between injection strategies).
+  std::uint32_t checksum() const;
+
+ private:
+  void check_index(std::uint64_t i) const;
+
+  DType dtype_;
+  std::vector<std::uint64_t> dims_;
+  std::uint64_t nelem_;
+  std::vector<std::uint8_t> raw_;
+};
+
+/// A tree node: either a group (with ordered children) or a dataset. Both
+/// kinds carry attributes.
+class Node {
+ public:
+  /// Construct a group node.
+  Node() = default;
+  /// Construct a dataset node.
+  explicit Node(Dataset ds) : dataset_(std::make_unique<Dataset>(std::move(ds))) {}
+
+  bool is_group() const { return dataset_ == nullptr; }
+  bool is_dataset() const { return dataset_ != nullptr; }
+
+  Dataset& dataset();
+  const Dataset& dataset() const;
+
+  /// Ordered children (groups only). Keys are single path segments.
+  const std::vector<std::pair<std::string, std::unique_ptr<Node>>>& children()
+      const {
+    return children_;
+  }
+
+  /// Child lookup; nullptr if absent (or if this is a dataset).
+  Node* find(const std::string& name);
+  const Node* find(const std::string& name) const;
+
+  /// Add a child; throws on duplicates or if this is a dataset.
+  Node& add_child(const std::string& name, std::unique_ptr<Node> child);
+
+  /// Remove a child by name; returns false if absent.
+  bool remove_child(const std::string& name);
+
+  // Attributes.
+  void set_attr(const std::string& name, AttrValue v);
+  bool has_attr(const std::string& name) const;
+  const AttrValue& attr(const std::string& name) const;
+  const std::vector<std::pair<std::string, AttrValue>>& attrs() const {
+    return attrs_;
+  }
+
+ private:
+  std::unique_ptr<Dataset> dataset_;  // null => group
+  std::vector<std::pair<std::string, std::unique_ptr<Node>>> children_;
+  std::vector<std::pair<std::string, AttrValue>> attrs_;
+};
+
+}  // namespace ckptfi::mh5

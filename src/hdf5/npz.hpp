@@ -1,0 +1,43 @@
+// NPZ import/export: Chainer's native checkpoint format.
+//
+// The paper notes Chainer snapshots in "native NPZ format (NumPy's
+// compressed array format)" as well as HDF5, and lists exploring other
+// checkpoint formats as future work. This module implements a real NPZ
+// reader/writer — a ZIP archive (stored, uncompressed entries, as
+// numpy.savez produces without compression) of NPY v1.0 arrays — and
+// converts to/from the in-memory mh5 tree so the corrupter operates on NPZ
+// checkpoints unchanged.
+//
+// Mapping: each dataset path "predictor/conv1/W" becomes the archive entry
+// "predictor/conv1/W.npy". NPZ has no groups or attributes; groups are
+// implied by '/' in entry names and attributes are dropped (exactly the
+// information loss a real Chainer NPZ snapshot has).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdf5/file.hpp"
+
+namespace ckptfi::mh5 {
+
+/// Serialize the datasets of `file` as an uncompressed .npz archive.
+std::vector<std::uint8_t> npz_serialize(const File& file);
+
+/// Parse an .npz archive into an mh5 tree. Throws FormatError on malformed
+/// ZIP/NPY structure or unsupported dtypes.
+File npz_deserialize(const std::vector<std::uint8_t>& bytes);
+
+void save_npz(const File& file, const std::string& path);
+File load_npz(const std::string& path);
+
+// --- single-array NPY helpers (exposed for tests and tooling) ---
+
+/// Serialize one dataset as an NPY v1.0 blob.
+std::vector<std::uint8_t> npy_serialize(const Dataset& ds);
+
+/// Parse one NPY v1.0 blob.
+Dataset npy_deserialize(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ckptfi::mh5

@@ -1,0 +1,280 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+// --- Conv2D -----------------------------------------------------------------
+
+Conv2D::Conv2D(std::string name, std::size_t in_ch, std::size_t out_ch,
+               std::size_t kernel, std::size_t stride, std::size_t pad)
+    : Layer(std::move(name)),
+      in_ch_(in_ch),
+      out_ch_(out_ch),
+      spec_{kernel, stride, pad},
+      w_({out_ch, in_ch, kernel, kernel}),
+      b_({out_ch}),
+      dw_({out_ch, in_ch, kernel, kernel}),
+      db_({out_ch}) {}
+
+void Conv2D::init_params(Rng& rng) {
+  // He initialisation for ReLU networks.
+  const double fan_in =
+      static_cast<double>(in_ch_ * spec_.kernel * spec_.kernel);
+  const double s = std::sqrt(2.0 / fan_in);
+  for (auto& v : w_.vec()) v = rng.normal(0.0, s);
+  b_.fill(0.0);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool) {
+  x_cache_ = x;
+  Tensor y;
+  conv2d_forward(x, w_, b_, spec_, y);
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& dy) {
+  Tensor dx;
+  conv2d_backward(x_cache_, w_, spec_, dy, dx, dw_, db_);
+  return dx;
+}
+
+void Conv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name() + "/W", &w_, &dw_, true});
+  out.push_back({name() + "/b", &b_, &db_, true});
+}
+
+// --- Dense -------------------------------------------------------------------
+
+Dense::Dense(std::string name, std::size_t in_dim, std::size_t out_dim)
+    : Layer(std::move(name)),
+      in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_({in_dim, out_dim}),
+      b_({out_dim}),
+      dw_({in_dim, out_dim}),
+      db_({out_dim}) {}
+
+void Dense::init_params(Rng& rng) {
+  const double s = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  for (auto& v : w_.vec()) v = rng.normal(0.0, s);
+  b_.fill(0.0);
+}
+
+Tensor Dense::forward(const Tensor& x, bool) {
+  require(x.rank() == 2 && x.dim(1) == in_dim_,
+          "Dense '" + name() + "': bad input shape " +
+              shape_to_string(x.shape()));
+  x_cache_ = x;
+  Tensor y;
+  gemm(x, w_, y);
+  const std::size_t n = y.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_dim_; ++j) y[i * out_dim_ + j] += b_[j];
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  gemm_at_b(x_cache_, dy, dw_);
+  db_.fill(0.0);
+  const std::size_t n = dy.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_dim_; ++j) db_[j] += dy[i * out_dim_ + j];
+  }
+  Tensor dx;
+  gemm_a_bt(dy, w_, dx);
+  return dx;
+}
+
+void Dense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name() + "/W", &w_, &dw_, true});
+  out.push_back({name() + "/b", &b_, &db_, true});
+}
+
+// --- ReLU --------------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, bool) {
+  Tensor y = x;
+  mask_.assign(x.numel(), false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0) {
+      mask_[i] = true;
+    } else if (std::isnan(y[i])) {
+      // relu(NaN) = NaN in the frameworks we model; keep propagation alive.
+      mask_[i] = true;
+    } else {
+      y[i] = 0.0;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    if (!mask_[i]) dx[i] = 0.0;
+  }
+  return dx;
+}
+
+// --- MaxPool2D -----------------------------------------------------------------
+
+MaxPool2D::MaxPool2D(std::string name, std::size_t kernel, std::size_t stride,
+                     std::size_t pad)
+    : Layer(std::move(name)), spec_{kernel, stride, pad} {}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool) {
+  x_shape_ = x.shape();
+  Tensor y;
+  maxpool2d_forward(x, spec_, y, argmax_);
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& dy) {
+  Tensor dx(x_shape_);
+  maxpool2d_backward(dy, argmax_, dx);
+  return dx;
+}
+
+// --- GlobalAvgPool -----------------------------------------------------------
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool) {
+  x_shape_ = x.shape();
+  Tensor y;
+  global_avgpool_forward(x, y);
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  Tensor dx;
+  global_avgpool_backward(dy, x_shape_, dx);
+  return dx;
+}
+
+// --- Flatten -------------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x, bool) {
+  x_shape_ = x.shape();
+  require(x.rank() >= 2, "Flatten: rank >= 2 required");
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& dy) { return dy.reshaped(x_shape_); }
+
+// --- BatchNorm2D ----------------------------------------------------------------
+
+BatchNorm2D::BatchNorm2D(std::string name, std::size_t channels,
+                         double momentum, double eps)
+    : Layer(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, 1.0),
+      beta_({channels}),
+      dgamma_({channels}),
+      dbeta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0),
+      unused_grad_({channels}) {}
+
+void BatchNorm2D::init_params(Rng&) {
+  gamma_.fill(1.0);
+  beta_.fill(0.0);
+  running_mean_.fill(0.0);
+  running_var_.fill(1.0);
+}
+
+Tensor BatchNorm2D::forward(const Tensor& x, bool training) {
+  require(x.rank() == 4 && x.dim(1) == channels_,
+          "BatchNorm2D '" + name() + "': bad input shape");
+  x_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = channels_, hw = x.dim(2) * x.dim(3);
+  const double count = static_cast<double>(n * hw);
+
+  batch_mean_.assign(c, 0.0);
+  batch_inv_std_.assign(c, 0.0);
+  Tensor y(x.shape());
+  x_hat_ = Tensor(x.shape());
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double m, var;
+    if (training) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* p = x.data() + (i * c + ch) * hw;
+        for (std::size_t j = 0; j < hw; ++j) s += p[j];
+      }
+      m = s / count;
+      double v = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* p = x.data() + (i * c + ch) * hw;
+        for (std::size_t j = 0; j < hw; ++j) v += (p[j] - m) * (p[j] - m);
+      }
+      var = v / count;
+      running_mean_[ch] = momentum_ * running_mean_[ch] + (1 - momentum_) * m;
+      running_var_[ch] = momentum_ * running_var_[ch] + (1 - momentum_) * var;
+    } else {
+      m = running_mean_[ch];
+      var = running_var_[ch];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    batch_mean_[ch] = m;
+    batch_inv_std_[ch] = inv_std;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* p = x.data() + (i * c + ch) * hw;
+      double* ph = x_hat_.data() + (i * c + ch) * hw;
+      double* py = y.data() + (i * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        ph[j] = (p[j] - m) * inv_std;
+        py[j] = gamma_[ch] * ph[j] + beta_[ch];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& dy) {
+  const std::size_t n = x_shape_[0], c = channels_,
+                    hw = x_shape_[2] * x_shape_[3];
+  const double count = static_cast<double>(n * hw);
+  Tensor dx(x_shape_);
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* pdy = dy.data() + (i * c + ch) * hw;
+      const double* ph = x_hat_.data() + (i * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        sum_dy += pdy[j];
+        sum_dy_xhat += pdy[j] * ph[j];
+      }
+    }
+    dgamma_[ch] = sum_dy_xhat;
+    dbeta_[ch] = sum_dy;
+    const double g = gamma_[ch] * batch_inv_std_[ch];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* pdy = dy.data() + (i * c + ch) * hw;
+      const double* ph = x_hat_.data() + (i * c + ch) * hw;
+      double* pdx = dx.data() + (i * c + ch) * hw;
+      for (std::size_t j = 0; j < hw; ++j) {
+        pdx[j] =
+            g * (pdy[j] - sum_dy / count - ph[j] * sum_dy_xhat / count);
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({name() + "/gamma", &gamma_, &dgamma_, true});
+  out.push_back({name() + "/beta", &beta_, &dbeta_, true});
+  out.push_back(
+      {name() + "/running_mean", &running_mean_, &unused_grad_, false});
+  out.push_back(
+      {name() + "/running_var", &running_var_, &unused_grad_, false});
+}
+
+}  // namespace ckptfi::nn

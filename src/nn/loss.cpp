@@ -1,0 +1,60 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint8_t>& labels) {
+  require(logits.rank() == 2, "softmax_cross_entropy: rank-2 logits required");
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  require(labels.size() == n, "softmax_cross_entropy: label count mismatch");
+
+  Tensor probs;
+  softmax_rows(logits, probs);
+
+  LossResult res;
+  res.dlogits = Tensor({n, k});
+  double total = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = labels[i];
+    require(y < k, "softmax_cross_entropy: label out of range");
+    const double p = probs[i * k + y];
+    total += -std::log(p > 0.0 ? p : 1e-300);
+    if (std::isnan(p)) total = std::nan("");
+    for (std::size_t j = 0; j < k; ++j) {
+      res.dlogits[i * k + j] =
+          (probs[i * k + j] - (j == y ? 1.0 : 0.0)) * inv_n;
+    }
+  }
+  res.loss = total * inv_n;
+  return res;
+}
+
+double accuracy(const Tensor& logits,
+                const std::vector<std::uint8_t>& labels) {
+  require(logits.rank() == 2, "accuracy: rank-2 logits required");
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  require(labels.size() == n, "accuracy: label count mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    bool bad = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double v = logits[i * k + j];
+      if (std::isnan(v)) {
+        bad = true;
+        break;
+      }
+      if (v > logits[i * k + best]) best = j;
+    }
+    if (!bad && best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss and classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ckptfi::nn {
+
+/// Result of a loss evaluation: mean loss over the batch and dL/dlogits.
+struct LossResult {
+  double loss = 0.0;
+  Tensor dlogits;
+};
+
+/// Mean softmax cross-entropy over the batch. labels[i] in [0, K).
+/// NaN/Inf logits produce a NaN loss (never throws) so corrupted runs can be
+/// observed collapsing, exactly as the paper's trainings do.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint8_t>& labels);
+
+/// Fraction of rows whose argmax equals the label. Rows containing NaN count
+/// as wrong (a framework prediction with NaN scores is not the true class).
+double accuracy(const Tensor& logits, const std::vector<std::uint8_t>& labels);
+
+}  // namespace ckptfi::nn

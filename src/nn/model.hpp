@@ -1,0 +1,65 @@
+// Model: a named network with canonical parameter names and layer metadata.
+//
+// Canonical parameter names ("conv1_1/W") are the coordinate system shared by
+// all framework adapters; the injector's equivalent-injection log records
+// locations in this space.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace ckptfi::nn {
+
+class Model {
+ public:
+  Model(std::string name, Shape input_shape, std::size_t num_classes,
+        std::unique_ptr<Sequential> net);
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }  ///< [C,H,W]
+  std::size_t num_classes() const { return num_classes_; }
+
+  Tensor forward(const Tensor& x, bool training) {
+    return net_->forward(x, training);
+  }
+  Tensor backward(const Tensor& dy) { return net_->backward(dy); }
+
+  /// Initialise all parameters from a seed (deterministic).
+  void init(std::uint64_t seed);
+
+  /// All parameters in topological order (stable across calls).
+  const std::vector<ParamRef>& params();
+
+  /// Parameter by canonical name; nullptr when absent.
+  ParamRef* find_param(const std::string& name);
+
+  /// Canonical layer names in topological order (deduped param-name
+  /// prefixes): "conv1_1", "bn1", "fc8", ... Used for first/middle/last
+  /// layer targeting (paper Figs. 4-6).
+  std::vector<std::string> layer_names();
+
+  /// Layer names that carry weights ("W"), i.e. conv/dense layers — the
+  /// paper's notion of the network's layers.
+  std::vector<std::string> weight_layer_names();
+
+  /// Total trainable parameter count.
+  std::size_t num_parameters();
+
+  /// True if any parameter is NaN/Inf.
+  bool has_non_finite_params();
+
+ private:
+  void refresh_params();
+
+  std::string name_;
+  Shape input_shape_;
+  std::size_t num_classes_;
+  std::unique_ptr<Sequential> net_;
+  std::vector<ParamRef> params_;
+  bool params_dirty_ = true;
+};
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,51 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  if (velocity_.size() != params.size()) {
+    require(velocity_.empty(),
+            "Sgd::step: parameter list changed between steps");
+    velocity_.resize(params.size());
+  }
+  // Global-norm gradient clipping (applied before weight decay, like the
+  // frameworks we model). NaN/Inf norms skip clipping so corrupted runs
+  // still propagate their collapse.
+  double clip_scale = 1.0;
+  if (cfg_.clip_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (const ParamRef& p : params) {
+      if (!p.trainable) continue;
+      for (double g : p.grad->vec()) sq += g * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (std::isfinite(norm) && norm > cfg_.clip_grad_norm) {
+      clip_scale = cfg_.clip_grad_norm / norm;
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ParamRef& p = params[i];
+    if (!p.trainable) continue;
+    Tensor& w = *p.value;
+    const Tensor& g = *p.grad;
+    Tensor& v = velocity_[i];
+    if (v.shape() != w.shape()) v = Tensor(w.shape());
+    for (std::size_t j = 0; j < w.numel(); ++j) {
+      const double grad = g[j] * clip_scale + cfg_.weight_decay * w[j];
+      v[j] = cfg_.momentum * v[j] - cfg_.lr * grad;
+      w[j] += v[j];
+    }
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+void Sgd::restore_velocity(std::vector<Tensor> velocity) {
+  velocity_ = std::move(velocity);
+}
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,50 @@
+// Optimizers. Only SGD (+momentum, weight decay) is needed: the paper's
+// trainings use plain SGD-style optimisation and its checkpoints hold model
+// weights (Fig 3b's note about "not saving other types of optimization
+// information" is reproduced by NOT checkpointing velocity).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ckptfi::nn {
+
+struct SgdConfig {
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+  /// Global L2 gradient-norm clip; <= 0 disables. Keeps deep plain networks
+  /// (VGG16 has 13 conv layers and no normalisation) from diverging.
+  double clip_grad_norm = 5.0;
+};
+
+/// SGD with classical momentum: v = mu*v - lr*(g + wd*w); w += v.
+/// Velocity is keyed by parameter index, so `step` must always be called
+/// with the same parameter list (the model's).
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg) : cfg_(cfg) {}
+
+  const SgdConfig& config() const { return cfg_; }
+  void set_lr(double lr) { cfg_.lr = lr; }
+
+  /// Apply one update to all trainable params.
+  void step(const std::vector<ParamRef>& params);
+
+  /// Drop accumulated velocity (used when resuming from a checkpoint that,
+  /// like the paper's, stores weights only).
+  void reset();
+
+  /// Snapshot / restore the momentum state. The paper's checkpoints do NOT
+  /// carry optimizer state (the cause of Fig. 3b's restart bump); these
+  /// hooks exist so tests and ablations can compare both resume semantics.
+  std::vector<Tensor> snapshot_velocity() const { return velocity_; }
+  void restore_velocity(std::vector<Tensor> velocity);
+
+ private:
+  SgdConfig cfg_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,163 @@
+#include "nn/parallel.hpp"
+
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+std::vector<Batch> shard_batch(const Batch& batch, std::size_t workers) {
+  require(workers > 0, "shard_batch: need at least one worker");
+  const std::size_t n = batch.y.size();
+  const std::size_t per = n / workers;
+  std::vector<Batch> shards;
+  const std::size_t img = batch.x.numel() / n;
+  std::size_t start = 0;
+  for (std::size_t w = 0; w < workers && start < n; ++w) {
+    const std::size_t count = (w + 1 == workers) ? n - start
+                              : per > 0          ? per
+                                                 : 1;
+    const std::size_t end = std::min(start + count, n);
+    Batch shard;
+    Shape shape = batch.x.shape();
+    shape[0] = end - start;
+    shard.x = Tensor(shape);
+    shard.y.assign(batch.y.begin() + static_cast<long>(start),
+                   batch.y.begin() + static_cast<long>(end));
+    for (std::size_t t = 0; t < shard.x.numel(); ++t) {
+      shard.x[t] = batch.x[start * img + t];
+    }
+    shards.push_back(std::move(shard));
+    start = end;
+  }
+  return shards;
+}
+
+DataParallelTrainer::DataParallelTrainer(ModelFactory factory,
+                                         DataParallelConfig cfg)
+    : cfg_(cfg), opt_(cfg.sgd) {
+  require(cfg_.workers > 0, "DataParallelTrainer: need at least one worker");
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    replicas_.push_back(factory());
+    require(replicas_.back() != nullptr,
+            "DataParallelTrainer: factory returned null");
+  }
+  broadcast_from_rank0();
+}
+
+void DataParallelTrainer::broadcast_from_rank0() {
+  const auto& src = replicas_.front()->params();
+  for (std::size_t w = 1; w < replicas_.size(); ++w) {
+    const auto& dst = replicas_[w]->params();
+    require(dst.size() == src.size(),
+            "DataParallelTrainer: replica parameter sets differ");
+    for (std::size_t p = 0; p < src.size(); ++p) {
+      require(dst[p].value->shape() == src[p].value->shape(),
+              "DataParallelTrainer: replica shapes differ at " + src[p].name);
+      dst[p].value->vec() = src[p].value->vec();
+    }
+  }
+}
+
+void DataParallelTrainer::all_reduce_gradients() {
+  const std::size_t workers = replicas_.size();
+  const auto& rank0 = replicas_.front()->params();
+
+  // Build fusion buckets over the flattened trainable-gradient space.
+  struct Span {
+    std::size_t param;
+    std::size_t offset;
+    std::size_t len;
+  };
+  std::vector<std::vector<Span>> buckets;
+  {
+    std::vector<Span> current;
+    std::size_t current_len = 0;
+    const std::size_t cap =
+        cfg_.fusion_threshold == 0 ? 0 : cfg_.fusion_threshold;
+    for (std::size_t p = 0; p < rank0.size(); ++p) {
+      if (!rank0[p].trainable) continue;
+      std::size_t remaining = rank0[p].grad->numel();
+      std::size_t off = 0;
+      while (remaining > 0) {
+        std::size_t take = remaining;
+        if (cap > 0 && current_len + take > cap) take = cap - current_len;
+        if (take == 0) {
+          buckets.push_back(std::move(current));
+          current = {};
+          current_len = 0;
+          continue;
+        }
+        current.push_back({p, off, take});
+        current_len += take;
+        off += take;
+        remaining -= take;
+        if (cap == 0) {
+          // Unfused: one bucket per gradient tensor.
+          buckets.push_back(std::move(current));
+          current = {};
+          current_len = 0;
+        }
+      }
+    }
+    if (!current.empty()) buckets.push_back(std::move(current));
+  }
+
+  // Reduce bucket by bucket. Fused buckets use a ring-style rotated worker
+  // order (start = bucket index mod workers) like a real fusion buffer's
+  // segment ownership; unfused buckets always start at rank 0. Both are
+  // deterministic, but the groupings differ, so fused vs unfused runs are
+  // not bitwise-identical (the HOROVOD_FUSION_THRESHOLD effect).
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::size_t start_worker =
+        cfg_.fusion_threshold == 0 ? 0 : b % workers;
+    for (const Span& span : buckets[b]) {
+      Tensor& out = *rank0[span.param].grad;
+      for (std::size_t e = 0; e < span.len; ++e) {
+        const std::size_t j = span.offset + e;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < workers; ++k) {
+          const std::size_t w = (start_worker + k) % workers;
+          acc += (*replicas_[w]->params()[span.param].grad)[j];
+        }
+        out[j] = acc;
+      }
+    }
+  }
+}
+
+std::pair<double, double> DataParallelTrainer::train_epoch(
+    const std::vector<Batch>& batches) {
+  require(!batches.empty(), "DataParallelTrainer: no batches");
+  double loss_sum = 0.0, acc_sum = 0.0;
+  for (const Batch& batch : batches) {
+    const auto shards = shard_batch(batch, replicas_.size());
+    const double total = static_cast<double>(batch.y.size());
+
+    double batch_loss = 0.0, batch_acc = 0.0;
+    for (std::size_t w = 0; w < replicas_.size(); ++w) {
+      Model& replica = *replicas_[w];
+      if (w >= shards.size()) {
+        // Idle worker (batch smaller than worker count): zero gradients.
+        for (const auto& p : replica.params()) p.grad->fill(0.0);
+        continue;
+      }
+      const Batch& shard = shards[w];
+      const double weight = static_cast<double>(shard.y.size()) / total;
+      Tensor logits = replica.forward(shard.x, /*training=*/true);
+      LossResult lr = softmax_cross_entropy(logits, shard.y);
+      batch_loss += lr.loss * weight;
+      batch_acc += accuracy(logits, shard.y) * weight;
+      // Scale so the all-reduced sum equals the global-batch mean gradient.
+      lr.dlogits *= weight;
+      replica.backward(lr.dlogits);
+    }
+    all_reduce_gradients();
+    opt_.step(replicas_.front()->params());
+    broadcast_from_rank0();
+    loss_sum += batch_loss;
+    acc_sum += batch_acc;
+  }
+  const double n = static_cast<double>(batches.size());
+  return {loss_sum / n, acc_sum / n};
+}
+
+}  // namespace ckptfi::nn

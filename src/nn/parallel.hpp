@@ -1,0 +1,72 @@
+// Data-parallel training with a deterministic all-reduce — the engine's
+// stand-in for Horovod-distributed training (paper Section V-A3).
+//
+// K worker replicas hold identical parameters; each step shards the batch,
+// computes gradients per replica, all-reduces them in a fixed (bucket,
+// worker) order, applies one optimizer step and broadcasts the result.
+//
+// `fusion_threshold` models Horovod's tensor-fusion buffer: gradients are
+// fused into buckets of at most that many elements before reduction, which
+// changes floating-point summation grouping. The paper had to set
+// HOROVOD_FUSION_THRESHOLD=0 to make trainings reproducible; here both
+// settings are deterministic, but fused and unfused runs differ bitwise —
+// test_parallel.cpp demonstrates exactly that effect.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace ckptfi::nn {
+
+struct DataParallelConfig {
+  std::size_t workers = 2;
+  /// 0 = no fusion (reduce each gradient tensor separately, the paper's
+  /// reproducibility setting); > 0 = fuse gradients into buckets of at most
+  /// this many elements before reduction.
+  std::size_t fusion_threshold = 0;
+  SgdConfig sgd;
+};
+
+/// Factory producing identical fresh replicas of the model under training.
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+class DataParallelTrainer {
+ public:
+  /// `factory` must produce architecturally identical models; replica 0's
+  /// initial parameters are broadcast to all others.
+  DataParallelTrainer(ModelFactory factory, DataParallelConfig cfg);
+
+  /// One epoch over `batches`; returns (mean loss, mean accuracy) computed
+  /// from the sharded forward passes.
+  std::pair<double, double> train_epoch(const std::vector<Batch>& batches);
+
+  /// The authoritative replica (rank 0).
+  Model& model() { return *replicas_.front(); }
+
+  /// Broadcast rank 0's parameters to every replica. Call after loading a
+  /// checkpoint into model() so workers agree before the next step.
+  void sync_replicas() { broadcast_from_rank0(); }
+
+  std::size_t workers() const { return replicas_.size(); }
+
+  Sgd& optimizer() { return opt_; }
+
+ private:
+  void broadcast_from_rank0();
+  void all_reduce_gradients();
+
+  DataParallelConfig cfg_;
+  std::vector<std::unique_ptr<Model>> replicas_;
+  Sgd opt_;
+};
+
+/// Split a batch into `workers` contiguous shards (the last shard absorbs
+/// the remainder; empty shards are omitted).
+std::vector<Batch> shard_batch(const Batch& batch, std::size_t workers);
+
+}  // namespace ckptfi::nn

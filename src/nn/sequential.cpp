@@ -1,0 +1,85 @@
+#include "nn/sequential.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  require(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+void Sequential::init_params(Rng& rng) {
+  for (auto& l : layers_) l->init_params(rng);
+}
+
+Residual::Residual(std::string name, LayerPtr main_path, LayerPtr shortcut)
+    : Layer(std::move(name)),
+      main_(std::move(main_path)),
+      shortcut_(std::move(shortcut)) {
+  require(main_ != nullptr, "Residual: null main path");
+}
+
+Tensor Residual::forward(const Tensor& x, bool training) {
+  Tensor m = main_->forward(x, training);
+  Tensor s = shortcut_ ? shortcut_->forward(x, training) : x;
+  require(m.shape() == s.shape(),
+          "Residual '" + name() + "': branch shape mismatch " +
+              shape_to_string(m.shape()) + " vs " + shape_to_string(s.shape()));
+  Tensor y(m.shape());
+  relu_mask_.assign(y.numel(), false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    const double v = m[i] + s[i];
+    if (v > 0.0 || std::isnan(v)) {
+      y[i] = v;
+      relu_mask_[i] = true;
+    } else {
+      y[i] = 0.0;
+    }
+  }
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& dy) {
+  Tensor g = dy;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    if (!relu_mask_[i]) g[i] = 0.0;
+  }
+  Tensor dx_main = main_->backward(g);
+  Tensor dx_skip = shortcut_ ? shortcut_->backward(g) : g;
+  dx_main += dx_skip;
+  return dx_main;
+}
+
+void Residual::collect_params(std::vector<ParamRef>& out) {
+  main_->collect_params(out);
+  if (shortcut_) shortcut_->collect_params(out);
+}
+
+void Residual::init_params(Rng& rng) {
+  main_->init_params(rng);
+  if (shortcut_) shortcut_->init_params(rng);
+}
+
+}  // namespace ckptfi::nn

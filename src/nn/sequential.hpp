@@ -1,0 +1,55 @@
+// Layer containers: Sequential chains and Residual (skip-connection) blocks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ckptfi::nn {
+
+/// Runs layers in order; backward in reverse order.
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name = "seq") : Layer(std::move(name)) {}
+
+  /// Append a layer; returns a reference for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: construct in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void init_params(Rng& rng) override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// y = relu(main(x) + shortcut(x)); shortcut is identity when null. This is
+/// the ResNet building block (paper Section III-A: "skip connections ...
+/// input of a previous layer is added directly to the output of another").
+class Residual : public Layer {
+ public:
+  Residual(std::string name, LayerPtr main_path, LayerPtr shortcut = nullptr);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  void init_params(Rng& rng) override;
+
+ private:
+  LayerPtr main_;
+  LayerPtr shortcut_;  // nullptr => identity
+  std::vector<bool> relu_mask_;
+};
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,90 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+
+std::pair<double, double> Trainer::train_epoch(
+    const std::vector<Batch>& batches) {
+  require(!batches.empty(), "Trainer: no batches");
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  for (const Batch& b : batches) {
+    Tensor logits = model_.forward(b.x, /*training=*/true);
+    LossResult lr = softmax_cross_entropy(logits, b.y);
+    loss_sum += lr.loss;
+    acc_sum += accuracy(logits, b.y);
+    model_.backward(lr.dlogits);
+    opt_.step(model_.params());
+  }
+  const double n = static_cast<double>(batches.size());
+  return {loss_sum / n, acc_sum / n};
+}
+
+TrainResult Trainer::fit(const BatchProvider& provider,
+                         const std::vector<Batch>& test_batches,
+                         std::size_t first_epoch,
+                         const std::function<void(const EpochStats&)>& on_epoch) {
+  TrainResult result;
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    const std::size_t epoch = first_epoch + e;
+    const auto batches = provider(epoch);
+    auto [loss, train_acc] = train_epoch(batches);
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss;
+    stats.train_accuracy = train_acc;
+    stats.test_accuracy = evaluate(model_, test_batches);
+    stats.nev = is_nev(loss) || model_.has_non_finite_params();
+    result.epochs.push_back(stats);
+    result.final_accuracy = stats.test_accuracy;
+    if (on_epoch) on_epoch(stats);
+    if (stats.nev) {
+      result.collapsed = true;
+      break;
+    }
+  }
+  return result;
+}
+
+double evaluate(Model& model, const std::vector<Batch>& batches) {
+  require(!batches.empty(), "evaluate: no batches");
+  double acc_sum = 0.0;
+  std::size_t total = 0, correct = 0;
+  (void)acc_sum;
+  for (const Batch& b : batches) {
+    Tensor logits = model.forward(b.x, /*training=*/false);
+    const std::size_t n = b.y.size();
+    correct += static_cast<std::size_t>(
+        std::lround(accuracy(logits, b.y) * static_cast<double>(n)));
+    total += n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+EvalResult evaluate_with_nev(Model& model, const std::vector<Batch>& batches) {
+  require(!batches.empty(), "evaluate_with_nev: no batches");
+  EvalResult res;
+  std::size_t total = 0, correct = 0;
+  for (const Batch& b : batches) {
+    Tensor logits = model.forward(b.x, /*training=*/false);
+    for (double v : logits.vec()) {
+      if (is_nev(v)) {
+        res.nev = true;
+        break;
+      }
+    }
+    const std::size_t n = b.y.size();
+    correct += static_cast<std::size_t>(
+        std::lround(accuracy(logits, b.y) * static_cast<double>(n)));
+    total += n;
+  }
+  res.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  return res;
+}
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,89 @@
+// Deterministic training and evaluation loops.
+//
+// A Trainer drives SGD over batches supplied by a BatchProvider (the data
+// module's DataLoader binds to this). Per-epoch statistics include N-EV
+// detection so the experiment harness can classify collapsed trainings the
+// way the paper's Tables IV/VII do.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ckptfi::nn {
+
+/// One minibatch: images [B,C,H,W] + labels.
+struct Batch {
+  Tensor x;
+  std::vector<std::uint8_t> y;
+};
+
+/// Returns the ordered batches for a given epoch (deterministic function of
+/// the epoch index).
+using BatchProvider = std::function<std::vector<Batch>(std::size_t epoch)>;
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  SgdConfig sgd;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// True when this epoch computed a NaN/Inf/extreme value in loss or
+  /// weights — the paper's "N-EV" collapse signal.
+  bool nev = false;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  /// True if any epoch hit N-EV (a collapsed training in the paper's sense).
+  bool collapsed = false;
+  /// Final test accuracy (of the last epoch that ran).
+  double final_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Model& model, TrainConfig cfg)
+      : model_(model), cfg_(cfg), opt_(cfg.sgd) {}
+
+  /// Train one epoch over `batches`; returns (mean loss, accuracy) on the
+  /// training batches.
+  std::pair<double, double> train_epoch(const std::vector<Batch>& batches);
+
+  /// Full run: cfg.epochs epochs from `provider`, evaluating on `test_batches`
+  /// after each. `first_epoch` offsets the epoch counter when resuming from a
+  /// checkpoint. Stops early (and marks collapse) once weights go non-finite —
+  /// continuing a NaN training is pure wasted compute, as in the paper's
+  /// collapsed runs.
+  TrainResult fit(const BatchProvider& provider,
+                  const std::vector<Batch>& test_batches,
+                  std::size_t first_epoch = 0,
+                  const std::function<void(const EpochStats&)>& on_epoch = {});
+
+  Sgd& optimizer() { return opt_; }
+
+ private:
+  Model& model_;
+  TrainConfig cfg_;
+  Sgd opt_;
+};
+
+/// Accuracy of `model` over `batches` (eval mode). NaN logits count as wrong.
+double evaluate(Model& model, const std::vector<Batch>& batches);
+
+/// Evaluate and also report whether any logit was NaN/Inf/extreme — used by
+/// the prediction experiments (paper Table VIII) which count N-EV predictions.
+struct EvalResult {
+  double accuracy = 0.0;
+  bool nev = false;
+};
+EvalResult evaluate_with_nev(Model& model, const std::vector<Batch>& batches);
+
+}  // namespace ckptfi::nn

@@ -1,0 +1,224 @@
+#include "solver/heat2d.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::solver {
+namespace {
+
+/// y = A u for the 5-point Laplacian (h = 1/(n+1), scaled by 1/h^2).
+void apply_operator(std::size_t n, const std::vector<double>& u,
+                    std::vector<double>& y) {
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double inv_h2 = 1.0 / (h * h);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double c = u[i * n + j];
+      const double up = i > 0 ? u[(i - 1) * n + j] : 0.0;
+      const double dn = i + 1 < n ? u[(i + 1) * n + j] : 0.0;
+      const double lf = j > 0 ? u[i * n + j - 1] : 0.0;
+      const double rt = j + 1 < n ? u[i * n + j + 1] : 0.0;
+      y[i * n + j] = (4.0 * c - up - dn - lf - rt) * inv_h2;
+    }
+  }
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+std::vector<double> rhs_for(const PoissonProblem& p) {
+  std::vector<double> f(p.unknowns());
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) f[i * p.n + j] = p.forcing(i, j);
+  }
+  return f;
+}
+
+double residual_norm(const PoissonProblem& p, const std::vector<double>& u,
+                     const std::vector<double>& f) {
+  std::vector<double> au(u.size());
+  apply_operator(p.n, u, au);
+  double s = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double r = f[i] - au[i];
+    s += r * r;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<double> read_grid(const mh5::File& file, const std::string& path,
+                              std::size_t expect) {
+  const mh5::Dataset& ds = file.dataset(path);
+  require(ds.num_elements() == expect,
+          "solver checkpoint: grid size mismatch at '" + path + "'");
+  return ds.read_doubles();
+}
+
+}  // namespace
+
+double PoissonProblem::forcing(std::size_t i, std::size_t j) const {
+  // Two smooth modes plus a localized Gaussian bump. The bump has a broad
+  // eigen-spectrum, so Krylov solvers need a realistic iteration count
+  // (a pure sum of Laplacian eigenvectors would let CG finish in 2 steps).
+  const double x = (static_cast<double>(j) + 1.0) / static_cast<double>(n + 1);
+  const double y = (static_cast<double>(i) + 1.0) / static_cast<double>(n + 1);
+  const double dx = x - 0.3, dy = y - 0.7;
+  return 50.0 * std::sin(M_PI * x) * std::sin(M_PI * y) +
+         25.0 * std::sin(3 * M_PI * x) * std::sin(2 * M_PI * y) +
+         200.0 * std::exp(-(dx * dx + dy * dy) / 0.01);
+}
+
+std::size_t IterativeSolver::run_until(double tol, std::size_t max_iters) {
+  std::size_t used = 0;
+  while (used < max_iters && residual() > tol) {
+    step(1);
+    ++used;
+  }
+  return used;
+}
+
+// --- Jacobi ------------------------------------------------------------------
+
+Jacobi2D::Jacobi2D(PoissonProblem problem, double omega)
+    : problem_(problem),
+      omega_(omega),
+      u_(problem_.unknowns(), 0.0),
+      f_(rhs_for(problem_)) {
+  require(problem_.n >= 2, "Jacobi2D: n must be >= 2");
+  require(omega_ > 0.0 && omega_ <= 1.0, "Jacobi2D: omega in (0,1]");
+}
+
+void Jacobi2D::step(std::size_t iters) {
+  const std::size_t n = problem_.n;
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double h2 = h * h;
+  std::vector<double> next(u_.size());
+  for (std::size_t it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double up = i > 0 ? u_[(i - 1) * n + j] : 0.0;
+        const double dn = i + 1 < n ? u_[(i + 1) * n + j] : 0.0;
+        const double lf = j > 0 ? u_[i * n + j - 1] : 0.0;
+        const double rt = j + 1 < n ? u_[i * n + j + 1] : 0.0;
+        const double gs = (h2 * f_[i * n + j] + up + dn + lf + rt) / 4.0;
+        next[i * n + j] = (1.0 - omega_) * u_[i * n + j] + omega_ * gs;
+      }
+    }
+    u_.swap(next);
+    ++iteration_;
+  }
+}
+
+double Jacobi2D::residual() const {
+  return residual_norm(problem_, u_, f_);
+}
+
+mh5::File Jacobi2D::checkpoint(int precision_bits) const {
+  mh5::File f;
+  f.root().set_attr("solver", std::string("jacobi2d"));
+  f.root().set_attr("n", static_cast<std::int64_t>(problem_.n));
+  f.root().set_attr("omega", omega_);
+  f.root().set_attr("iteration", static_cast<std::int64_t>(iteration_));
+  auto& ds = f.create_dataset("state/u",
+                              mh5::float_dtype_for_bits(precision_bits),
+                              {problem_.n, problem_.n});
+  ds.write_doubles(u_);
+  return f;
+}
+
+Jacobi2D Jacobi2D::from_checkpoint(const mh5::File& file) {
+  require(std::get<std::string>(file.root().attr("solver")) == "jacobi2d",
+          "Jacobi2D: not a jacobi2d checkpoint");
+  PoissonProblem p;
+  p.n = static_cast<std::size_t>(
+      std::get<std::int64_t>(file.root().attr("n")));
+  Jacobi2D solver(p, std::get<double>(file.root().attr("omega")));
+  solver.iteration_ = static_cast<std::size_t>(
+      std::get<std::int64_t>(file.root().attr("iteration")));
+  solver.u_ = read_grid(file, "state/u", p.unknowns());
+  return solver;
+}
+
+// --- Conjugate gradient --------------------------------------------------------
+
+ConjugateGradient2D::ConjugateGradient2D(PoissonProblem problem)
+    : problem_(problem), x_(problem_.unknowns(), 0.0) {
+  require(problem_.n >= 2, "ConjugateGradient2D: n must be >= 2");
+  const auto f = rhs_for(problem_);
+  r_ = f;  // r = b - A*0 = b
+  p_ = r_;
+  rs_old_ = dot(r_, r_);
+}
+
+void ConjugateGradient2D::step(std::size_t iters) {
+  const std::size_t n = problem_.n;
+  std::vector<double> ap(x_.size());
+  for (std::size_t it = 0; it < iters; ++it) {
+    apply_operator(n, p_, ap);
+    const double p_ap = dot(p_, ap);
+    if (p_ap == 0.0 || !std::isfinite(p_ap)) {
+      ++iteration_;
+      continue;  // degenerate direction (possible after corruption)
+    }
+    const double alpha = rs_old_ / p_ap;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      x_[i] += alpha * p_[i];
+      r_[i] -= alpha * ap[i];
+    }
+    const double rs_new = dot(r_, r_);
+    const double beta = rs_new / rs_old_;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+      p_[i] = r_[i] + beta * p_[i];
+    }
+    rs_old_ = rs_new;
+    ++iteration_;
+  }
+}
+
+double ConjugateGradient2D::residual() const {
+  // CG's own view of the residual: the recurrence vector r.
+  return std::sqrt(std::fabs(rs_old_));
+}
+
+double ConjugateGradient2D::true_residual() const {
+  return residual_norm(problem_, x_, rhs_for(problem_));
+}
+
+mh5::File ConjugateGradient2D::checkpoint(int precision_bits) const {
+  mh5::File f;
+  f.root().set_attr("solver", std::string("cg2d"));
+  f.root().set_attr("n", static_cast<std::int64_t>(problem_.n));
+  f.root().set_attr("iteration", static_cast<std::int64_t>(iteration_));
+  f.root().set_attr("rs_old", rs_old_);
+  const auto dtype = mh5::float_dtype_for_bits(precision_bits);
+  f.create_dataset("state/x", dtype, {problem_.n, problem_.n})
+      .write_doubles(x_);
+  f.create_dataset("state/r", dtype, {problem_.n, problem_.n})
+      .write_doubles(r_);
+  f.create_dataset("state/p", dtype, {problem_.n, problem_.n})
+      .write_doubles(p_);
+  return f;
+}
+
+ConjugateGradient2D ConjugateGradient2D::from_checkpoint(
+    const mh5::File& file) {
+  require(std::get<std::string>(file.root().attr("solver")) == "cg2d",
+          "ConjugateGradient2D: not a cg2d checkpoint");
+  PoissonProblem p;
+  p.n = static_cast<std::size_t>(
+      std::get<std::int64_t>(file.root().attr("n")));
+  ConjugateGradient2D solver(p);
+  solver.iteration_ = static_cast<std::size_t>(
+      std::get<std::int64_t>(file.root().attr("iteration")));
+  solver.rs_old_ = std::get<double>(file.root().attr("rs_old"));
+  solver.x_ = read_grid(file, "state/x", p.unknowns());
+  solver.r_ = read_grid(file, "state/r", p.unknowns());
+  solver.p_ = read_grid(file, "state/p", p.unknowns());
+  return solver;
+}
+
+}  // namespace ckptfi::solver

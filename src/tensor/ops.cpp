@@ -1,0 +1,339 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+#include "util/threadpool.hpp"
+
+namespace ckptfi {
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  require(a.rank() == 2 && b.rank() == 2, "gemm: rank-2 inputs required");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "gemm: inner dimension mismatch");
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  if (!accumulate) c.fill(0.0);
+
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  parallel_for(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = pa[i * k + p];
+        if (av == 0.0) continue;
+        const double* brow = pb + p * n;
+        double* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "gemm_at_b: rank-2 inputs required");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "gemm_at_b: inner dimension mismatch");
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  c.fill(0.0);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = pa + p * m;
+    const double* brow = pb + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+  require(a.rank() == 2 && b.rank() == 2, "gemm_a_bt: rank-2 inputs required");
+  const std::size_t m = a.dim(0), n = a.dim(1), k = b.dim(0);
+  require(b.dim(1) == n, "gemm_a_bt: inner dimension mismatch");
+  if (c.shape() != Shape{m, k}) c = Tensor({m, k});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  parallel_for(m, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double s = 0.0;
+        const double* arow = pa + i * n;
+        const double* brow = pb + j * n;
+        for (std::size_t p = 0; p < n; ++p) s += arow[p] * brow[p];
+        pc[i * k + j] = s;
+      }
+    }
+  });
+}
+
+namespace {
+
+struct ConvDims {
+  std::size_t n, ci, h, w, co, kh, kw, ho, wo;
+};
+
+ConvDims conv_dims(const Tensor& x, const Tensor& w, const ConvSpec& spec) {
+  require(x.rank() == 4, "conv2d: input must be [N,C,H,W]");
+  require(w.rank() == 4, "conv2d: weight must be [Co,Ci,kh,kw]");
+  ConvDims d;
+  d.n = x.dim(0);
+  d.ci = x.dim(1);
+  d.h = x.dim(2);
+  d.w = x.dim(3);
+  d.co = w.dim(0);
+  d.kh = w.dim(2);
+  d.kw = w.dim(3);
+  require(w.dim(1) == d.ci, "conv2d: channel mismatch");
+  require(d.kh == spec.kernel && d.kw == spec.kernel,
+          "conv2d: weight kernel size disagrees with spec");
+  d.ho = spec.out_extent(d.h);
+  d.wo = spec.out_extent(d.w);
+  return d;
+}
+
+}  // namespace
+
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    const ConvSpec& spec, Tensor& y) {
+  const ConvDims d = conv_dims(x, w, spec);
+  require(b.numel() == d.co, "conv2d: bias size mismatch");
+  if (y.shape() != Shape{d.n, d.co, d.ho, d.wo})
+    y = Tensor({d.n, d.co, d.ho, d.wo});
+
+  const double* px = x.data();
+  const double* pw = w.data();
+  const double* pb = b.data();
+  double* py = y.data();
+  const std::size_t x_img = d.ci * d.h * d.w;
+  const std::size_t y_img = d.co * d.ho * d.wo;
+
+  parallel_for(d.n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t img = n0; img < n1; ++img) {
+      const double* xi = px + img * x_img;
+      double* yi = py + img * y_img;
+      for (std::size_t oc = 0; oc < d.co; ++oc) {
+        const double* wk = pw + oc * d.ci * d.kh * d.kw;
+        double* ymap = yi + oc * d.ho * d.wo;
+        for (std::size_t oy = 0; oy < d.ho; ++oy) {
+          for (std::size_t ox = 0; ox < d.wo; ++ox) {
+            double acc = pb[oc];
+            const std::ptrdiff_t iy0 =
+                static_cast<std::ptrdiff_t>(oy * spec.stride) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            const std::ptrdiff_t ix0 =
+                static_cast<std::ptrdiff_t>(ox * spec.stride) -
+                static_cast<std::ptrdiff_t>(spec.pad);
+            for (std::size_t ic = 0; ic < d.ci; ++ic) {
+              const double* xmap = xi + ic * d.h * d.w;
+              const double* wmap = wk + ic * d.kh * d.kw;
+              for (std::size_t ky = 0; ky < d.kh; ++ky) {
+                const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(d.h)) continue;
+                for (std::size_t kx = 0; kx < d.kw; ++kx) {
+                  const std::ptrdiff_t ix =
+                      ix0 + static_cast<std::ptrdiff_t>(kx);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(d.w))
+                    continue;
+                  acc += xmap[static_cast<std::size_t>(iy) * d.w +
+                              static_cast<std::size_t>(ix)] *
+                         wmap[ky * d.kw + kx];
+                }
+              }
+            }
+            ymap[oy * d.wo + ox] = acc;
+          }
+        }
+      }
+    }
+  });
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db) {
+  const ConvDims d = conv_dims(x, w, spec);
+  require(dy.shape() == Shape{d.n, d.co, d.ho, d.wo},
+          "conv2d_backward: dy shape mismatch");
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  if (dw.shape() != w.shape()) dw = Tensor(w.shape());
+  if (db.shape() != Shape{d.co}) db = Tensor({d.co});
+  dx.fill(0.0);
+  dw.fill(0.0);
+  db.fill(0.0);
+
+  const double* px = x.data();
+  const double* pw = w.data();
+  const double* pdy = dy.data();
+  double* pdx = dx.data();
+  double* pdw = dw.data();
+  double* pdb = db.data();
+  const std::size_t x_img = d.ci * d.h * d.w;
+  const std::size_t y_img = d.co * d.ho * d.wo;
+
+  // Serial over images: dw/db accumulate across the batch and the summation
+  // order must stay fixed for determinism.
+  for (std::size_t img = 0; img < d.n; ++img) {
+    const double* xi = px + img * x_img;
+    const double* dyi = pdy + img * y_img;
+    double* dxi = pdx + img * x_img;
+    for (std::size_t oc = 0; oc < d.co; ++oc) {
+      const double* wk = pw + oc * d.ci * d.kh * d.kw;
+      double* dwk = pdw + oc * d.ci * d.kh * d.kw;
+      const double* dymap = dyi + oc * d.ho * d.wo;
+      for (std::size_t oy = 0; oy < d.ho; ++oy) {
+        for (std::size_t ox = 0; ox < d.wo; ++ox) {
+          const double g = dymap[oy * d.wo + ox];
+          if (g == 0.0) continue;
+          pdb[oc] += g;
+          const std::ptrdiff_t iy0 =
+              static_cast<std::ptrdiff_t>(oy * spec.stride) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * spec.stride) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          for (std::size_t ic = 0; ic < d.ci; ++ic) {
+            const double* xmap = xi + ic * d.h * d.w;
+            double* dxmap = dxi + ic * d.h * d.w;
+            const double* wmap = wk + ic * d.kh * d.kw;
+            double* dwmap = dwk + ic * d.kh * d.kw;
+            for (std::size_t ky = 0; ky < d.kh; ++ky) {
+              const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(d.h)) continue;
+              for (std::size_t kx = 0; kx < d.kw; ++kx) {
+                const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(d.w)) continue;
+                const std::size_t xoff =
+                    static_cast<std::size_t>(iy) * d.w +
+                    static_cast<std::size_t>(ix);
+                dwmap[ky * d.kw + kx] += g * xmap[xoff];
+                dxmap[xoff] += g * wmap[ky * d.kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_forward(const Tensor& x, const ConvSpec& spec, Tensor& y,
+                       std::vector<std::size_t>& argmax) {
+  require(x.rank() == 4, "maxpool2d: input must be [N,C,H,W]");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec.out_extent(h), wo = spec.out_extent(w);
+  if (y.shape() != Shape{n, c, ho, wo}) y = Tensor({n, c, ho, wo});
+  argmax.assign(y.numel(), 0);
+
+  const double* px = x.data();
+  double* py = y.data();
+  std::size_t yoff = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const double* xmap = px + (img * c + ch) * h * w;
+      const std::size_t base = (img * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox, ++yoff) {
+          double best = -std::numeric_limits<double>::infinity();
+          std::size_t best_off = 0;
+          bool found = false;
+          const std::ptrdiff_t iy0 =
+              static_cast<std::ptrdiff_t>(oy * spec.stride) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * spec.stride) -
+              static_cast<std::ptrdiff_t>(spec.pad);
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            const std::ptrdiff_t iy = iy0 + static_cast<std::ptrdiff_t>(ky);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              const std::size_t off = static_cast<std::size_t>(iy) * w +
+                                      static_cast<std::size_t>(ix);
+              // NaN-aware: max(NaN, x) propagates NaN like framework kernels.
+              const double v = xmap[off];
+              if (!found || v > best || std::isnan(v)) {
+                best = v;
+                best_off = off;
+                found = true;
+                if (std::isnan(v)) goto window_done;
+              }
+            }
+          }
+        window_done:
+          py[yoff] = found ? best : 0.0;
+          argmax[yoff] = base + best_off;
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_backward(const Tensor& dy,
+                        const std::vector<std::size_t>& argmax, Tensor& dx) {
+  require(argmax.size() == dy.numel(), "maxpool2d_backward: argmax mismatch");
+  dx.fill(0.0);
+  const double* pdy = dy.data();
+  double* pdx = dx.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    pdx[argmax[i]] += pdy[i];
+  }
+}
+
+void global_avgpool_forward(const Tensor& x, Tensor& y) {
+  require(x.rank() == 4, "global_avgpool: input must be [N,C,H,W]");
+  const std::size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  if (y.shape() != Shape{n, c}) y = Tensor({n, c});
+  const double* px = x.data();
+  double* py = y.data();
+  for (std::size_t i = 0; i < n * c; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < hw; ++j) s += px[i * hw + j];
+    py[i] = s / static_cast<double>(hw);
+  }
+}
+
+void global_avgpool_backward(const Tensor& dy, const Shape& x_shape,
+                             Tensor& dx) {
+  require(x_shape.size() == 4, "global_avgpool_backward: bad x_shape");
+  const std::size_t n = x_shape[0], c = x_shape[1],
+                    hw = x_shape[2] * x_shape[3];
+  require(dy.shape() == Shape{n, c}, "global_avgpool_backward: dy mismatch");
+  if (dx.shape() != x_shape) dx = Tensor(x_shape);
+  const double* pdy = dy.data();
+  double* pdx = dx.data();
+  const double inv = 1.0 / static_cast<double>(hw);
+  for (std::size_t i = 0; i < n * c; ++i) {
+    const double g = pdy[i] * inv;
+    for (std::size_t j = 0; j < hw; ++j) pdx[i * hw + j] = g;
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  require(logits.rank() == 2, "softmax_rows: rank-2 input required");
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
+  const double* pl = logits.data();
+  double* pp = probs.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = pl + i * k;
+    double mx = row[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double e = std::exp(row[j] - mx);
+      pp[i * k + j] = e;
+      sum += e;
+    }
+    for (std::size_t j = 0; j < k; ++j) pp[i * k + j] /= sum;
+  }
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,56 @@
+// Tensor kernels: GEMM, 2-d convolution, pooling — forward and backward.
+//
+// Kernels are deterministic: loop order is fixed and parallel_for chunking is
+// a pure function of the range, so repeated runs are bit-identical (the
+// paper's methodology requires this to compare corrupted vs clean runs).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ckptfi {
+
+/// C[m,n] = A[m,k] * B[k,n]  (+ C if accumulate).
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// C[m,n] = A[k,m]^T * B[k,n].
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C[m,k] = A[m,n] * B[k,n]^T.
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Parameters of a conv/pool spatial mapping.
+struct ConvSpec {
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 1;
+  /// Output extent for input extent `in`.
+  std::size_t out_extent(std::size_t in) const {
+    return (in + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// y[N,Co,Ho,Wo] = conv2d(x[N,Ci,H,W], w[Co,Ci,kh,kw]) + b[Co].
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    const ConvSpec& spec, Tensor& y);
+
+/// Gradients of conv2d. dx/dw/db must be pre-shaped; dw and db are
+/// *overwritten* (not accumulated).
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db);
+
+/// Max pooling; `argmax` records the winning input offset per output (for
+/// backward).
+void maxpool2d_forward(const Tensor& x, const ConvSpec& spec, Tensor& y,
+                       std::vector<std::size_t>& argmax);
+void maxpool2d_backward(const Tensor& dy,
+                        const std::vector<std::size_t>& argmax, Tensor& dx);
+
+/// Global average over spatial dims: x[N,C,H,W] -> y[N,C].
+void global_avgpool_forward(const Tensor& x, Tensor& y);
+void global_avgpool_backward(const Tensor& dy, const Shape& x_shape,
+                             Tensor& dx);
+
+/// Row-wise softmax of logits[N,K] (numerically stabilised).
+void softmax_rows(const Tensor& logits, Tensor& probs);
+
+}  // namespace ckptfi

@@ -1,0 +1,17 @@
+#include "tensor/quantize.hpp"
+
+#include "util/bitops.hpp"
+
+namespace ckptfi {
+
+double quantize_value(double v, int bits) {
+  if (bits == 64) return v;
+  return decode_float(encode_float(v, bits), bits);
+}
+
+void quantize_tensor(Tensor& t, int bits) {
+  if (bits == 64) return;
+  for (auto& x : t.vec()) x = quantize_value(x, bits);
+}
+
+}  // namespace ckptfi

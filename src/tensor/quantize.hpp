@@ -1,0 +1,17 @@
+// Precision quantisation: round-trip doubles through an IEEE-754 storage
+// width. Checkpoints written at fp16/fp32 store exactly these values, so
+// corrupting "a 16-bit model" (paper Tables VII/VIII) means corrupting values
+// that are representable in binary16.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace ckptfi {
+
+/// Round-trip one value through the `bits`-wide float format (16/32/64).
+double quantize_value(double v, int bits);
+
+/// Quantise every element in place.
+void quantize_tensor(Tensor& t, int bits);
+
+}  // namespace ckptfi

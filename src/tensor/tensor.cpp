@@ -1,0 +1,101 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+
+std::string shape_to_string(const Shape& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+std::size_t shape_numel(const Shape& s) {
+  std::size_t n = 1;
+  for (auto d : s) n *= d;
+  return n;
+}
+
+Tensor::Tensor(Shape shape, double fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor Tensor::from(std::initializer_list<double> values) {
+  Tensor t({values.size()});
+  std::size_t i = 0;
+  for (double v : values) t.data_[i++] = v;
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  require(i < shape_.size(), "Tensor::dim: axis out of range");
+  return shape_[i];
+}
+
+double& Tensor::at(std::size_t i0) {
+  require(rank() == 1 && i0 < shape_[0], "Tensor::at(1d): bad index");
+  return data_[i0];
+}
+
+double& Tensor::at(std::size_t i0, std::size_t i1) {
+  require(rank() == 2 && i0 < shape_[0] && i1 < shape_[1],
+          "Tensor::at(2d): bad index");
+  return data_[i0 * shape_[1] + i1];
+}
+
+double& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                   std::size_t i3) {
+  require(rank() == 4 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2] &&
+              i3 < shape_[3],
+          "Tensor::at(4d): bad index");
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+double Tensor::at(std::size_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+double Tensor::at(std::size_t i0, std::size_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+double Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  require(shape_numel(new_shape) == numel(),
+          "Tensor::reshaped: numel mismatch " + shape_to_string(shape_) +
+              " -> " + shape_to_string(new_shape));
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+bool Tensor::has_non_finite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  require(other.numel() == numel(), "Tensor::operator+=: numel mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,74 @@
+// Dense row-major N-d tensor of doubles — the engine's compute type.
+//
+// The engine computes in double so that fp64 checkpoint corruption (values up
+// to ~1e308) is representable end-to-end; fp16/fp32 precision enters through
+// checkpoint quantisation (see quantize.hpp), matching how the paper's
+// corrupter operates on the *stored* representation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ckptfi {
+
+/// Shape of a tensor; empty shape means scalar.
+using Shape = std::vector<std::size_t>;
+
+std::string shape_to_string(const Shape& s);
+std::size_t shape_numel(const Shape& s);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, double fill = 0.0);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, double v) {
+    return Tensor(std::move(shape), v);
+  }
+  /// 1-d tensor from values.
+  static Tensor from(std::initializer_list<double> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& vec() { return data_; }
+  const std::vector<double>& vec() const { return data_; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  // Bounds-checked multi-index access (rank-specific, hot paths use raw
+  // offsets instead).
+  double& at(std::size_t i0);
+  double& at(std::size_t i0, std::size_t i1);
+  double& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  double at(std::size_t i0) const;
+  double at(std::size_t i0, std::size_t i1) const;
+  double at(std::size_t i0, std::size_t i1, std::size_t i2,
+            std::size_t i3) const;
+
+  /// Reinterpret with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(double v);
+
+  /// True if any element is NaN or Inf.
+  bool has_non_finite() const;
+
+  /// Elementwise in-place helpers.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator*=(double s);
+
+ private:
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace ckptfi

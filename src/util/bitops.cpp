@@ -1,0 +1,79 @@
+#include "util/bitops.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+
+FloatLayout float_layout(int bits) {
+  switch (bits) {
+    case 16:
+      return FloatLayout{16, 10, 5};
+    case 32:
+      return FloatLayout{32, 23, 8};
+    case 64:
+      return FloatLayout{64, 52, 11};
+    default:
+      throw InvalidArgument("float_layout: unsupported width " +
+                            std::to_string(bits));
+  }
+}
+
+std::string to_binary_string(std::uint64_t v, int bits) {
+  require(bits >= 1 && bits <= 64, "to_binary_string: bits out of range");
+  std::string s(static_cast<std::size_t>(bits), '0');
+  for (int i = 0; i < bits; ++i) {
+    if (test_bit(v, bits - 1 - i)) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+std::uint64_t parse_binary_string(const std::string& s) {
+  if (s.empty() || s.size() > 64)
+    throw FormatError("parse_binary_string: bad length " +
+                      std::to_string(s.size()));
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1')
+      throw FormatError("parse_binary_string: non-binary character");
+    v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+bool is_nan_or_inf(double v) { return !std::isfinite(v); }
+
+bool is_nev(double v) {
+  return !std::isfinite(v) || std::fabs(v) > kExtremeThreshold;
+}
+
+std::uint64_t encode_float(double v, int bits) {
+  switch (bits) {
+    case 16:
+      return f16::from_float(static_cast<float>(v)).bits;
+    case 32:
+      return f32_to_bits(static_cast<float>(v));
+    case 64:
+      return f64_to_bits(v);
+    default:
+      throw InvalidArgument("encode_float: unsupported width");
+  }
+}
+
+double decode_float(std::uint64_t repr, int bits) {
+  switch (bits) {
+    case 16:
+      return static_cast<double>(
+          f16::from_bits(static_cast<std::uint16_t>(repr)).to_float());
+    case 32:
+      return static_cast<double>(
+          bits_to_f32(static_cast<std::uint32_t>(repr)));
+    case 64:
+      return bits_to_f64(repr);
+    default:
+      throw InvalidArgument("decode_float: unsupported width");
+  }
+}
+
+}  // namespace ckptfi

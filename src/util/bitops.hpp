@@ -1,0 +1,90 @@
+// Bit-level views of IEEE-754 floating-point values.
+//
+// The fault injector manipulates the binary representation of checkpoint
+// values; these helpers give a uniform "bits" view for 16/32/64-bit floats
+// and classify values (NaN / Inf / extreme) the way the paper does.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/float16.hpp"
+
+namespace ckptfi {
+
+/// IEEE-754 field layout for a float width. Bit 0 is the least significant
+/// mantissa bit; the sign occupies the top bit (paper Fig. 2).
+struct FloatLayout {
+  int total_bits;     ///< 16, 32 or 64
+  int mantissa_bits;  ///< 10, 23 or 52
+  int exponent_bits;  ///< 5, 8 or 11
+  /// Bit index of the sign bit (total_bits - 1).
+  int sign_bit() const { return total_bits - 1; }
+  /// Bit index of the most significant exponent bit (the "critical" bit).
+  int exponent_msb() const { return total_bits - 2; }
+  /// Bit index of the least significant exponent bit.
+  int exponent_lsb() const { return mantissa_bits; }
+};
+
+/// Layout for a given width in bits (16, 32 or 64). Throws on other widths.
+FloatLayout float_layout(int bits);
+
+// --- bit punning -----------------------------------------------------------
+
+inline std::uint32_t f32_to_bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+inline float bits_to_f32(std::uint32_t b) { return std::bit_cast<float>(b); }
+inline std::uint64_t f64_to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+inline double bits_to_f64(std::uint64_t b) { return std::bit_cast<double>(b); }
+inline std::uint16_t f16_to_bits(f16 v) { return v.bits; }
+inline f16 bits_to_f16(std::uint16_t b) { return f16::from_bits(b); }
+
+// --- generic bit manipulation ---------------------------------------------
+
+/// Flip bit `pos` (0 = LSB) of `v`.
+inline std::uint64_t flip_bit(std::uint64_t v, int pos) {
+  return v ^ (std::uint64_t{1} << pos);
+}
+
+/// XOR a mask whose lowest `mask_bits` bits are given by `mask`, shifted so
+/// the mask's LSB lands at bit `offset`.
+inline std::uint64_t apply_mask(std::uint64_t v, std::uint64_t mask, int offset) {
+  return v ^ (mask << offset);
+}
+
+/// True if bit `pos` of `v` is set.
+inline bool test_bit(std::uint64_t v, int pos) {
+  return (v >> pos) & 1u;
+}
+
+/// Render the low `bits` bits of `v` as a binary string, MSB first.
+std::string to_binary_string(std::uint64_t v, int bits);
+
+/// Parse a binary string like "101101" into its value; throws FormatError on
+/// non-binary characters or length > 64.
+std::uint64_t parse_binary_string(const std::string& s);
+
+// --- value classification ---------------------------------------------------
+
+/// Threshold above which a finite value is treated as "extreme" (paper:
+/// values so large the network collapses when computing with them).
+inline constexpr double kExtremeThreshold = 1e30;
+
+/// True if v is NaN or +/-Inf.
+bool is_nan_or_inf(double v);
+
+/// True if v is NaN, Inf, or has magnitude above kExtremeThreshold ("N-EV"
+/// in the paper's terminology).
+bool is_nev(double v);
+
+// --- width-generic encode/decode --------------------------------------------
+
+/// Encode `v` into the IEEE-754 representation with `bits` total bits
+/// (16/32/64), returning the representation in the low bits of a u64.
+/// Narrowing uses round-to-nearest-even.
+std::uint64_t encode_float(double v, int bits);
+
+/// Decode the low `bits` bits of `repr` as an IEEE-754 value of that width.
+double decode_float(std::uint64_t repr, int bits);
+
+}  // namespace ckptfi

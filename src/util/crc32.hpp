@@ -1,0 +1,12 @@
+// CRC-32 (IEEE 802.3 polynomial) for mh5 dataset integrity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ckptfi {
+
+/// Incremental CRC-32. Start from crc = 0.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t crc = 0);
+
+}  // namespace ckptfi

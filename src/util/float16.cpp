@@ -1,0 +1,78 @@
+#include "util/float16.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace ckptfi {
+
+f16 f16::from_float(float v) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  std::uint16_t out;
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN: keep NaN-ness by forcing a mantissa bit for NaN.
+    out = static_cast<std::uint16_t>(sign | 0x7c00u |
+                                     ((abs > 0x7f800000u) ? 0x0200u : 0u));
+  } else if (abs >= 0x477ff000u) {
+    // Rounds to a value >= 2^16 - overflow to infinity. The threshold is
+    // 65520 (the midpoint between f16 max 65504 and 2^16), below which we
+    // round to finite values.
+    out = static_cast<std::uint16_t>(sign | 0x7c00u);
+  } else if (abs < 0x38800000u) {
+    // Subnormal half (or zero): shift mantissa with implicit leading 1.
+    if (abs < 0x33000000u) {
+      // Smaller than half of the smallest subnormal: rounds to zero.
+      out = static_cast<std::uint16_t>(sign);
+    } else {
+      const int exp = static_cast<int>(abs >> 23);
+      const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+      // half_mant = mant24 * 2^(exp-126): drop (126 - exp) bits, exp in
+      // [102, 112] here so the shift stays within [14, 24].
+      const int shift = 126 - exp;
+      std::uint32_t half_mant = mant >> shift;
+      // round to nearest even
+      const std::uint32_t rem = mant & ((1u << shift) - 1);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rem > halfway || (rem == halfway && (half_mant & 1u))) half_mant++;
+      out = static_cast<std::uint16_t>(sign | half_mant);
+    }
+  } else {
+    // Normal range: rebias exponent 127 -> 15, keep top 10 mantissa bits.
+    std::uint32_t rounded = abs + 0x00000fffu + ((abs >> 13) & 1u);
+    out = static_cast<std::uint16_t>(sign | ((rounded - 0x38000000u) >> 13));
+  }
+  f16 h;
+  h.bits = out;
+  return h;
+}
+
+float f16::to_float() const {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mant = bits & 0x3ffu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +/- zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        e++;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | ((127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (mant << 13);  // Inf / NaN
+  } else {
+    out = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,34 @@
+// IEEE-754 binary16 ("half") storage type.
+//
+// The engine computes in double; f16 exists so checkpoints can be stored at
+// 16-bit precision and so the injector can flip bits of genuine half-precision
+// representations (paper Tables VII, VIII).
+#pragma once
+
+#include <cstdint>
+
+namespace ckptfi {
+
+/// A 16-bit IEEE-754 floating point value. Conversions use round-to-nearest-
+/// even; overflow saturates to +/-Inf as the standard requires.
+struct f16 {
+  std::uint16_t bits = 0;
+
+  f16() = default;
+  static f16 from_bits(std::uint16_t b) {
+    f16 h;
+    h.bits = b;
+    return h;
+  }
+  static f16 from_float(float v);
+  float to_float() const;
+
+  bool is_nan() const {
+    return (bits & 0x7c00u) == 0x7c00u && (bits & 0x03ffu) != 0;
+  }
+  bool is_inf() const { return (bits & 0x7fffu) == 0x7c00u; }
+
+  friend bool operator==(f16 a, f16 b) { return a.bits == b.bits; }
+};
+
+}  // namespace ckptfi

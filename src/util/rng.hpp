@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// The paper's methodology rests on bit-identical deterministic training runs
+// (Code 1 in the paper); every stochastic choice in this library flows
+// through Rng so a seed fully determines an execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ckptfi {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, reproducible across
+/// platforms (no implementation-defined std::uniform_* distributions are
+/// used: all derivations below are fully specified).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
+  /// the result is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal deviate (Box-Muller, deterministic pairing).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-layer / per-framework
+  /// streams that must not perturb each other).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ckptfi

@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+
+double mean(const std::vector<double>& v) {
+  require(!v.empty(), "mean: empty input");
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  const double m = mean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_of(const std::vector<double>& v) {
+  require(!v.empty(), "min_of: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  require(!v.empty(), "max_of: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double quantile(std::vector<double> v, double q) {
+  require(!v.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+BoxplotStats boxplot_stats(const std::vector<double>& v) {
+  require(!v.empty(), "boxplot_stats: empty input");
+  BoxplotStats s;
+  s.n = v.size();
+  s.q1 = quantile(v, 0.25);
+  s.median = quantile(v, 0.5);
+  s.q3 = quantile(v, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  // Whiskers extend to the most extreme datapoints inside the fences.
+  s.whisker_lo = s.q3;
+  s.whisker_hi = s.q1;
+  bool any_in = false;
+  for (double x : v) {
+    if (x >= lo_fence && x <= hi_fence) {
+      if (!any_in) {
+        s.whisker_lo = s.whisker_hi = x;
+        any_in = true;
+      } else {
+        s.whisker_lo = std::min(s.whisker_lo, x);
+        s.whisker_hi = std::max(s.whisker_hi, x);
+      }
+    } else {
+      ++s.n_outliers;
+    }
+  }
+  if (!any_in) {
+    s.whisker_lo = s.median;
+    s.whisker_hi = s.median;
+  }
+  return s;
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,30 @@
+// Descriptive statistics used by the experiment harness (boxplots in the
+// paper's Fig. 6, averages in Tables VI/VIII).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ckptfi {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  ///< population variance
+double stddev(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0,1]. Throws on empty input.
+double quantile(std::vector<double> v, double q);
+
+/// Five-number boxplot summary with 1.5*IQR whiskers (matplotlib defaults —
+/// matching how the paper's Fig. 6 boxplots are drawn).
+struct BoxplotStats {
+  double q1 = 0, median = 0, q3 = 0;
+  double whisker_lo = 0, whisker_hi = 0;
+  std::size_t n_outliers = 0;
+  std::size_t n = 0;
+};
+
+BoxplotStats boxplot_stats(const std::vector<double>& v);
+
+}  // namespace ckptfi

@@ -1,0 +1,53 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+
+namespace ckptfi {
+
+std::vector<std::string> split_path(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string join_path(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string normalize_path(const std::string& s) {
+  return join_path(split_path(s));
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool path_has_prefix(const std::string& path, const std::string& prefix) {
+  const std::string p = normalize_path(path);
+  const std::string pre = normalize_path(prefix);
+  if (pre.empty()) return true;
+  if (p == pre) return true;
+  return p.size() > pre.size() && starts_with(p, pre) && p[pre.size()] == '/';
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,29 @@
+// Small string/path helpers used across modules (HDF5-style paths are
+// '/'-separated like "model_weights/block1_conv1/kernel").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ckptfi {
+
+/// Split on a delimiter; empty segments are dropped ("/a//b/" -> {a,b}).
+std::vector<std::string> split_path(const std::string& s, char delim = '/');
+
+/// Join segments with '/'.
+std::string join_path(const std::vector<std::string>& parts);
+
+/// Normalize a path: strip leading/trailing '/', collapse doubles.
+std::string normalize_path(const std::string& s);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// True if `path` equals `prefix` or is nested under it (prefix "a/b"
+/// matches "a/b" and "a/b/c" but not "a/bc").
+bool path_has_prefix(const std::string& path, const std::string& prefix);
+
+/// Fixed-precision formatting for report tables, e.g. format_fixed(48.75, 1)
+/// == "48.8".
+std::string format_fixed(double v, int decimals);
+
+}  // namespace ckptfi

@@ -1,0 +1,109 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace ckptfi {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t nchunks = std::min(n, workers_.size());
+  if (nchunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+
+  std::atomic<std::size_t> remaining{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::size_t issued = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    if (c * chunk >= n) break;
+    ++issued;
+  }
+  remaining.store(issued);
+
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t begin = c * chunk;
+    if (begin >= n) break;
+    const std::size_t end = std::min(begin + chunk, n);
+    std::function<void()> task = [&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    };
+    {
+      std::lock_guard lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Below this, fork/join costs more than it saves on any machine.
+  constexpr std::size_t kInlineThreshold = 2048;
+  if (n < kInlineThreshold || ThreadPool::global().size() <= 1) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,56 @@
+// Deterministic data-parallel execution.
+//
+// HPC-style worker pool with a parallel_for whose chunking is a pure function
+// of (range, worker count) and whose reductions are applied in chunk order —
+// so a run is bit-identical regardless of scheduling, which the paper's
+// deterministic-training methodology requires.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ckptfi {
+
+/// Fixed-size worker pool. Tasks are arbitrary closures; parallel_for is the
+/// primary entry point.
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(begin, end) over [0, n) split into size() contiguous chunks and
+  /// block until all complete. Chunk boundaries depend only on n and size(),
+  /// never on timing. Exceptions from workers are rethrown on the caller.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience: ThreadPool::global().parallel_for(n, fn) — but runs inline
+/// when n is small enough that fork/join overhead dominates.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace ckptfi

@@ -1,0 +1,140 @@
+#include "core/corrupter_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+TEST(CorrupterConfig, DefaultsValidate) {
+  CorrupterConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CorrupterConfig, EnumStringRoundTrip) {
+  EXPECT_EQ(injection_type_from_string(to_string(InjectionType::Count)),
+            InjectionType::Count);
+  EXPECT_EQ(injection_type_from_string(to_string(InjectionType::Percentage)),
+            InjectionType::Percentage);
+  for (CorruptionMode m : {CorruptionMode::BitMask, CorruptionMode::BitRange,
+                           CorruptionMode::ScalingFactor}) {
+    EXPECT_EQ(corruption_mode_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(injection_type_from_string("ratio"), FormatError);
+  EXPECT_THROW(corruption_mode_from_string("zap"), FormatError);
+}
+
+TEST(CorrupterConfig, ValidatesProbability) {
+  CorrupterConfig cfg;
+  cfg.injection_probability = 1.5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.injection_probability = -0.1;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CorrupterConfig, ValidatesPercentage) {
+  CorrupterConfig cfg;
+  cfg.injection_type = InjectionType::Percentage;
+  cfg.injection_attempts = 101.0;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.injection_attempts = 50.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CorrupterConfig, ValidatesPrecision) {
+  CorrupterConfig cfg;
+  cfg.float_precision = 48;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CorrupterConfig, ValidatesBitMask) {
+  CorrupterConfig cfg;
+  cfg.corruption_mode = CorruptionMode::BitMask;
+  cfg.bit_mask = "";
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.bit_mask = "10021";
+  EXPECT_THROW(cfg.validate(), FormatError);
+  cfg.bit_mask = std::string(65, '1');
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.bit_mask = "101101";
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.float_precision = 16;
+  cfg.bit_mask = std::string(17, '1');
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(CorrupterConfig, ValidatesBitRange) {
+  CorrupterConfig cfg;
+  cfg.corruption_mode = CorruptionMode::BitRange;
+  cfg.first_bit = 10;
+  cfg.last_bit = 5;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.first_bit = 0;
+  cfg.last_bit = 64;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.last_bit = 63;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.float_precision = 16;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);  // 63 >= 16
+}
+
+TEST(CorrupterConfig, ValidatesLocations) {
+  CorrupterConfig cfg;
+  cfg.use_random_locations = false;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.locations_to_corrupt = {"predictor/conv1"};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CorrupterConfig, JsonRoundTripAllModes) {
+  CorrupterConfig cfg;
+  cfg.injection_probability = 0.75;
+  cfg.injection_type = InjectionType::Percentage;
+  cfg.injection_attempts = 12.5;
+  cfg.float_precision = 32;
+  cfg.corruption_mode = CorruptionMode::BitMask;
+  cfg.bit_mask = "110";
+  cfg.allow_nan_values = false;
+  cfg.locations_to_corrupt = {"a/b", "c"};
+  cfg.use_random_locations = false;
+  cfg.seed = 987654321;
+
+  const CorrupterConfig back = CorrupterConfig::from_json(cfg.to_json());
+  EXPECT_DOUBLE_EQ(back.injection_probability, 0.75);
+  EXPECT_EQ(back.injection_type, InjectionType::Percentage);
+  EXPECT_DOUBLE_EQ(back.injection_attempts, 12.5);
+  EXPECT_EQ(back.float_precision, 32);
+  EXPECT_EQ(back.corruption_mode, CorruptionMode::BitMask);
+  EXPECT_EQ(back.bit_mask, "110");
+  EXPECT_FALSE(back.allow_nan_values);
+  EXPECT_EQ(back.locations_to_corrupt,
+            (std::vector<std::string>{"a/b", "c"}));
+  EXPECT_FALSE(back.use_random_locations);
+  EXPECT_EQ(back.seed, 987654321u);
+}
+
+TEST(CorrupterConfig, JsonRoundTripScaling) {
+  CorrupterConfig cfg;
+  cfg.corruption_mode = CorruptionMode::ScalingFactor;
+  cfg.scaling_factor = 4500.0;
+  const CorrupterConfig back = CorrupterConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.corruption_mode, CorruptionMode::ScalingFactor);
+  EXPECT_DOUBLE_EQ(back.scaling_factor, 4500.0);
+}
+
+TEST(CorrupterConfig, FromJsonValidates) {
+  Json j = Json::object();
+  j["injection_probability"] = 2.0;
+  EXPECT_THROW(CorrupterConfig::from_json(j), InvalidArgument);
+}
+
+TEST(CorrupterConfig, FromJsonDefaultsMissingFields) {
+  const CorrupterConfig cfg = CorrupterConfig::from_json(Json::object());
+  EXPECT_EQ(cfg.injection_type, InjectionType::Count);
+  EXPECT_EQ(cfg.float_precision, 64);
+  EXPECT_TRUE(cfg.use_random_locations);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,145 @@
+// Property-style sweeps of the corrupter across every corruption mode and
+// float dtype: invariants that must hold for any configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "core/corrupter.hpp"
+#include "util/bitops.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+mh5::File make_file(mh5::DType dtype) {
+  mh5::File f;
+  Rng rng(17);
+  for (const char* name : {"model/a/W", "model/b/W", "model/c/W"}) {
+    auto& ds = f.create_dataset(name, dtype, {6, 7});
+    for (std::uint64_t i = 0; i < ds.num_elements(); ++i) {
+      ds.set_double(i, rng.normal(0.0, 0.5));
+    }
+  }
+  return f;
+}
+
+using Param = std::tuple<CorruptionMode, mh5::DType>;
+
+class CorrupterPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  CorrupterConfig config(std::uint64_t seed) const {
+    const auto& [mode, dtype] = GetParam();
+    CorrupterConfig cc;
+    cc.corruption_mode = mode;
+    cc.float_precision = mh5::dtype_bits(dtype);
+    cc.injection_attempts = 37;
+    cc.seed = seed;
+    switch (mode) {
+      case CorruptionMode::BitMask:
+        cc.bit_mask = "1101";
+        break;
+      case CorruptionMode::BitRange:
+        cc.first_bit = 0;
+        cc.last_bit = cc.float_precision - 1;
+        break;
+      case CorruptionMode::ScalingFactor:
+        cc.scaling_factor = 3.5;
+        break;
+    }
+    return cc;
+  }
+};
+
+TEST_P(CorrupterPropertyTest, InjectionCountMatchesBudget) {
+  mh5::File f = make_file(std::get<1>(GetParam()));
+  Corrupter corrupter(config(1));
+  const InjectionReport rep = corrupter.corrupt(f);
+  EXPECT_EQ(rep.attempts, 37u);
+  EXPECT_EQ(rep.injections + rep.prob_skipped + rep.nan_gave_up, 37u);
+  EXPECT_EQ(rep.log.size(), rep.injections);
+}
+
+TEST_P(CorrupterPropertyTest, EveryRecordNamesAResolvedLocation) {
+  mh5::File f = make_file(std::get<1>(GetParam()));
+  Corrupter corrupter(config(2));
+  const auto locations = corrupter.resolve_locations(f);
+  const std::set<std::string> allowed(locations.begin(), locations.end());
+  const InjectionReport rep = corrupter.corrupt(f);
+  for (const auto& rec : rep.log.records()) {
+    EXPECT_TRUE(allowed.count(rec.location)) << rec.location;
+    EXPECT_LT(rec.index, f.dataset(rec.location).num_elements());
+  }
+}
+
+TEST_P(CorrupterPropertyTest, ChangedValuesBoundedByInjections) {
+  const mh5::DType dtype = std::get<1>(GetParam());
+  mh5::File f = make_file(dtype);
+  const mh5::File orig = mh5::File::deserialize(f.serialize());
+  Corrupter corrupter(config(3));
+  const InjectionReport rep = corrupter.corrupt(f);
+  std::uint64_t changed = 0;
+  for (const auto& path : f.dataset_paths()) {
+    const auto& da = orig.dataset(path);
+    const auto& db = f.dataset(path);
+    for (std::uint64_t i = 0; i < da.num_elements(); ++i) {
+      changed += (da.element_bits(i) != db.element_bits(i));
+    }
+  }
+  EXPECT_LE(changed, rep.injections);
+  EXPECT_GT(changed, 0u);
+}
+
+TEST_P(CorrupterPropertyTest, RecordedValuesMatchDatasetPrecision) {
+  const mh5::DType dtype = std::get<1>(GetParam());
+  mh5::File f = make_file(dtype);
+  Corrupter corrupter(config(4));
+  const InjectionReport rep = corrupter.corrupt(f);
+  const int bits = mh5::dtype_bits(dtype);
+  for (const auto& rec : rep.log.records()) {
+    // new_value must be exactly representable at the dataset's precision.
+    if (std::isfinite(rec.new_value)) {
+      EXPECT_EQ(decode_float(encode_float(rec.new_value, bits), bits),
+                rec.new_value);
+    }
+    for (int b : rec.bits) EXPECT_LT(b, bits);
+  }
+}
+
+TEST_P(CorrupterPropertyTest, SameSeedSameOutcome) {
+  const mh5::DType dtype = std::get<1>(GetParam());
+  auto run = [&] {
+    mh5::File f = make_file(dtype);
+    Corrupter corrupter(config(5));
+    corrupter.corrupt(f);
+    return f.serialize();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(CorrupterPropertyTest, NanFilterNeverLeavesNonFinite) {
+  const mh5::DType dtype = std::get<1>(GetParam());
+  mh5::File f = make_file(dtype);
+  CorrupterConfig cc = config(6);
+  cc.allow_nan_values = false;
+  Corrupter corrupter(cc);
+  corrupter.corrupt(f);
+  for (const auto& path : f.dataset_paths()) {
+    const auto& ds = f.dataset(path);
+    for (std::uint64_t i = 0; i < ds.num_elements(); ++i) {
+      EXPECT_TRUE(std::isfinite(ds.get_double(i)))
+          << path << "[" << i << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndDtypes, CorrupterPropertyTest,
+    ::testing::Combine(::testing::Values(CorruptionMode::BitMask,
+                                         CorruptionMode::BitRange,
+                                         CorruptionMode::ScalingFactor),
+                       ::testing::Values(mh5::DType::F16, mh5::DType::F32,
+                                         mh5::DType::F64)));
+
+}  // namespace
+}  // namespace ckptfi::core

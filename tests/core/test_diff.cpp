@@ -1,0 +1,132 @@
+#include "core/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/corrupter.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+mh5::File base_file() {
+  mh5::File f;
+  f.create_dataset("a/W", mh5::DType::F64, {4}).write_doubles({1, 2, 3, 4});
+  f.create_dataset("a/b", mh5::DType::F32, {2}).write_doubles({0.5, -0.5});
+  f.create_dataset("meta", mh5::DType::I64, {1}).set_int(0, 9);
+  return f;
+}
+
+TEST(Diff, IdenticalFiles) {
+  const mh5::File a = base_file();
+  const mh5::File b = base_file();
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  EXPECT_TRUE(d.identical());
+  EXPECT_TRUE(d.datasets.empty());
+}
+
+TEST(Diff, CountsChangedElementsAndBits) {
+  const mh5::File a = base_file();
+  mh5::File b = base_file();
+  // Flip exactly two bits in one element and one bit in another.
+  auto& ds = b.dataset("a/W");
+  ds.set_element_bits(0, ds.element_bits(0) ^ 0b101);
+  ds.set_element_bits(2, ds.element_bits(2) ^ (1ull << 52));
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  ASSERT_EQ(d.datasets.size(), 1u);
+  EXPECT_EQ(d.datasets[0].path, "a/W");
+  EXPECT_EQ(d.datasets[0].changed, 2u);
+  EXPECT_EQ(d.datasets[0].bits_flipped, 3u);
+  EXPECT_EQ(d.total_changed, 2u);
+  EXPECT_EQ(d.total_bits_flipped, 3u);
+  EXPECT_FALSE(d.identical());
+}
+
+TEST(Diff, DeltaStatistics) {
+  const mh5::File a = base_file();
+  mh5::File b = base_file();
+  b.dataset("a/W").set_double(1, 2.5);  // delta 0.5
+  b.dataset("a/W").set_double(3, 14.0); // delta 10
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  EXPECT_DOUBLE_EQ(d.datasets[0].max_abs_delta, 10.0);
+  EXPECT_DOUBLE_EQ(d.datasets[0].mean_abs_delta, 5.25);
+}
+
+TEST(Diff, NonFiniteCountedPerSide) {
+  const mh5::File a = base_file();
+  mh5::File b = base_file();
+  b.dataset("a/W").set_double(0, std::nan(""));
+  b.dataset("a/W").set_double(1, INFINITY);
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  EXPECT_EQ(d.datasets[0].non_finite_a, 0u);
+  EXPECT_EQ(d.datasets[0].non_finite_b, 2u);
+}
+
+TEST(Diff, MissingDatasetsListed) {
+  mh5::File a = base_file();
+  mh5::File b = base_file();
+  a.create_dataset("extra_a", mh5::DType::F64, {1});
+  b.create_dataset("extra_b", mh5::DType::F64, {1});
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  EXPECT_EQ(d.only_in_a, std::vector<std::string>{"extra_a"});
+  EXPECT_EQ(d.only_in_b, std::vector<std::string>{"extra_b"});
+  EXPECT_FALSE(d.identical());
+}
+
+TEST(Diff, ShapeMismatchCountsAllElements) {
+  mh5::File a;
+  a.create_dataset("w", mh5::DType::F64, {4});
+  mh5::File b;
+  b.create_dataset("w", mh5::DType::F64, {2, 2});
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  ASSERT_EQ(d.datasets.size(), 1u);
+  EXPECT_EQ(d.datasets[0].changed, 4u);
+}
+
+TEST(Diff, IntegerDatasetsCompared) {
+  const mh5::File a = base_file();
+  mh5::File b = base_file();
+  b.dataset("meta").set_int(0, 10);
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  ASSERT_EQ(d.datasets.size(), 1u);
+  EXPECT_EQ(d.datasets[0].path, "meta");
+  EXPECT_EQ(d.datasets[0].changed, 1u);
+}
+
+TEST(Diff, DatasetDeltasSkipNonFiniteAndZero) {
+  mh5::Dataset a(mh5::DType::F64, {4});
+  mh5::Dataset b(mh5::DType::F64, {4});
+  a.write_doubles({1, 2, 3, 4});
+  b.write_doubles({1, 2.5, std::nan(""), 8});
+  const auto deltas = dataset_deltas(a, b);
+  EXPECT_EQ(deltas, (std::vector<double>{0.5, 4.0}));
+}
+
+// Consistency with the injector: total bit flips reported by the diff equals
+// what the injection log says was flipped (no collisions at these counts
+// would be required for equality, so compare <=).
+TEST(Diff, AgreesWithInjectionLog) {
+  mh5::File a;
+  auto& ds = a.create_dataset("model/w", mh5::DType::F64, {256});
+  for (std::uint64_t i = 0; i < 256; ++i)
+    ds.set_double(i, 0.001 * static_cast<double>(i));
+  mh5::File b = mh5::File::deserialize(a.serialize());
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 30;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 3;
+  const InjectionReport rep = Corrupter(cc).corrupt(b);
+
+  const CheckpointDiff d = diff_checkpoints(a, b);
+  std::uint64_t logged_bits = 0;
+  for (const auto& rec : rep.log.records()) logged_bits += rec.bits.size();
+  EXPECT_LE(d.total_bits_flipped, logged_bits);
+  EXPECT_GT(d.total_bits_flipped, 0u);
+  EXPECT_LE(d.total_changed, rep.injections);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

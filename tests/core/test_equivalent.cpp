@@ -1,0 +1,216 @@
+#include "core/equivalent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/models.hpp"
+#include "util/bitops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+models::ModelConfig tiny() {
+  models::ModelConfig cfg;
+  cfg.width = 2;
+  return cfg;
+}
+
+struct Rig {
+  std::unique_ptr<nn::Model> model_a;
+  std::unique_ptr<nn::Model> model_b;
+  std::unique_ptr<fw::FrameworkAdapter> adapter_a;
+  std::unique_ptr<fw::FrameworkAdapter> adapter_b;
+  mh5::File ckpt_a;
+  mh5::File ckpt_b;
+};
+
+Rig make_setup(const std::string& fw_a, const std::string& fw_b) {
+  Rig s;
+  s.adapter_a = fw::make_adapter(fw_a);
+  s.adapter_b = fw::make_adapter(fw_b);
+  s.model_a = models::make_mini_alexnet(tiny());
+  s.model_b = models::make_mini_alexnet(tiny());
+  s.model_a->init(s.adapter_a->init_seed(3));
+  s.model_b->init(s.adapter_b->init_seed(3));
+  s.ckpt_a = s.adapter_a->checkpoint_to_file(*s.model_a, 64, 0);
+  s.ckpt_b = s.adapter_b->checkpoint_to_file(*s.model_b, 64, 0);
+  return s;
+}
+
+InjectionLog corrupt_layer(Rig& s, const std::string& layer, int flips,
+                           std::uint64_t seed) {
+  CorrupterConfig cfg;
+  cfg.injection_attempts = flips;
+  cfg.corruption_mode = CorruptionMode::BitRange;
+  cfg.first_bit = 0;
+  cfg.last_bit = 61;
+  cfg.use_random_locations = false;
+  cfg.locations_to_corrupt = {
+      s.adapter_a->dataset_path(layer + "/W", fw::ParamKind::ConvW)};
+  cfg.seed = seed;
+  Corrupter corrupter(cfg);
+  ModelContext ctx(*s.model_a, *s.adapter_a);
+  InjectionReport rep = corrupter.corrupt(s.ckpt_a, &ctx);
+  rep.log.set_meta("framework", s.adapter_a->name());
+  rep.log.set_meta("model", "alexnet");
+  return rep.log;
+}
+
+TEST(EquivalentInjection, SameLogicalWeightHitsIdenticalWeights) {
+  Rig s = make_setup("chainer", "tensorflow");
+  const InjectionLog log = corrupt_layer(s, "conv2", 25, 11);
+
+  const mh5::File orig_b = mh5::File::deserialize(s.ckpt_b.serialize());
+  const ReplayStats stats = replay_injection_log(
+      log, s.ckpt_b, *s.model_b, *s.adapter_b, ReplayMode::SameLogicalWeight,
+      99);
+  EXPECT_EQ(stats.replayed, log.size());
+  EXPECT_EQ(stats.skipped_no_canonical, 0u);
+
+  // Load both corrupted checkpoints back into canonical space: the exact
+  // same canonical elements must have received the exact same bit deltas,
+  // even though TF stores the conv kernel HWIO and chainer OIHW.
+  auto model_a2 = models::make_mini_alexnet(tiny());
+  model_a2->init(s.adapter_a->init_seed(3));
+  auto model_b2 = models::make_mini_alexnet(tiny());
+  model_b2->init(s.adapter_b->init_seed(3));
+  s.adapter_a->load_from_file(*model_a2, s.ckpt_a);
+  s.adapter_b->load_from_file(*model_b2, s.ckpt_b);
+
+  // Reconstruct per-canonical-index XOR deltas on both sides.
+  auto deltas = [&](nn::Model& before_model, nn::Model& after_model,
+                    const std::string& param) {
+    std::map<std::uint64_t, std::uint64_t> d;
+    const Tensor& before = *before_model.find_param(param)->value;
+    const Tensor& after = *after_model.find_param(param)->value;
+    for (std::size_t i = 0; i < before.numel(); ++i) {
+      const std::uint64_t x = f64_to_bits(before[i]) ^ f64_to_bits(after[i]);
+      if (x) d[i] = x;
+    }
+    return d;
+  };
+  auto clean_a = models::make_mini_alexnet(tiny());
+  clean_a->init(s.adapter_a->init_seed(3));
+  auto clean_b = models::make_mini_alexnet(tiny());
+  clean_b->init(s.adapter_b->init_seed(3));
+
+  // Different initial values, but XOR deltas land on identical indices.
+  const auto da = deltas(*clean_a, *model_a2, "conv2/W");
+  const auto db = deltas(*clean_b, *model_b2, "conv2/W");
+  EXPECT_FALSE(da.empty());
+  std::vector<std::uint64_t> ia, ib;
+  for (const auto& [k, v] : da) ia.push_back(k);
+  for (const auto& [k, v] : db) ib.push_back(k);
+  EXPECT_EQ(ia, ib);
+  for (const auto& [k, v] : da) EXPECT_EQ(db.at(k), v) << "index " << k;
+}
+
+TEST(EquivalentInjection, SameLayerBitPreservesLayerCountsAndBits) {
+  Rig s = make_setup("chainer", "pytorch");
+  const InjectionLog log = corrupt_layer(s, "conv1", 30, 13);
+
+  const ReplayStats stats = replay_injection_log(
+      log, s.ckpt_b, *s.model_b, *s.adapter_b, ReplayMode::SameLayerBit, 55);
+  EXPECT_EQ(stats.replayed, 30u);
+  ASSERT_EQ(stats.log.size(), 30u);
+  const std::string target_path =
+      s.adapter_b->dataset_path("conv1/W", fw::ParamKind::ConvW);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& src = log.records()[i];
+    const auto& dst = stats.log.records()[i];
+    EXPECT_EQ(dst.location, target_path);       // same layer
+    EXPECT_EQ(dst.bits, src.bits);              // same bit positions
+  }
+}
+
+TEST(EquivalentInjection, ReplayIsDeterministicPerSeed) {
+  Rig s1 = make_setup("chainer", "tensorflow");
+  const InjectionLog log = corrupt_layer(s1, "conv3", 10, 17);
+  auto run = [&](std::uint64_t seed) {
+    Rig s = make_setup("chainer", "tensorflow");
+    replay_injection_log(log, s.ckpt_b, *s.model_b, *s.adapter_b,
+                         ReplayMode::SameLayerBit, seed);
+    return s.ckpt_b.serialize();
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(EquivalentInjection, RecordsWithoutCanonicalAreSkipped) {
+  Rig s = make_setup("chainer", "pytorch");
+  InjectionLog log;
+  InjectionRecord rec;
+  rec.location = "unmapped/path";
+  rec.bits = {3};
+  log.add(rec);
+  const ReplayStats stats = replay_injection_log(
+      log, s.ckpt_b, *s.model_b, *s.adapter_b, ReplayMode::SameLayerBit, 1);
+  EXPECT_EQ(stats.replayed, 0u);
+  EXPECT_EQ(stats.skipped_no_canonical, 1u);
+}
+
+TEST(EquivalentInjection, UnknownParameterThrows) {
+  Rig s = make_setup("chainer", "pytorch");
+  InjectionLog log;
+  InjectionRecord rec;
+  rec.location = "x";
+  rec.canonical_param = "conv99/W";
+  rec.bits = {1};
+  log.add(rec);
+  EXPECT_THROW(replay_injection_log(log, s.ckpt_b, *s.model_b, *s.adapter_b,
+                                    ReplayMode::SameLayerBit, 1),
+               InvalidArgument);
+}
+
+TEST(EquivalentInjection, BitsBeyondTargetWidthSkipped) {
+  // Log produced against a 64-bit checkpoint, replayed into a 16-bit one.
+  Rig s = make_setup("chainer", "tensorflow");
+  const InjectionLog log = corrupt_layer(s, "conv2", 40, 19);
+  mh5::File ckpt16 = s.adapter_b->checkpoint_to_file(*s.model_b, 16, 0);
+  const ReplayStats stats = replay_injection_log(
+      log, ckpt16, *s.model_b, *s.adapter_b, ReplayMode::SameLayerBit, 3);
+  // Bits 16..61 exist in the source log but not in a 16-bit dataset.
+  EXPECT_GT(stats.skipped_bit_width, 0u);
+  for (const auto& rec : stats.log.records()) {
+    for (int b : rec.bits) EXPECT_LT(b, 16);
+  }
+}
+
+TEST(EquivalentInjection, ScaleRecordsReplayAsScaling) {
+  Rig s = make_setup("chainer", "pytorch");
+  CorrupterConfig cfg;
+  cfg.corruption_mode = CorruptionMode::ScalingFactor;
+  cfg.scaling_factor = 100.0;
+  cfg.injection_attempts = 5;
+  cfg.use_random_locations = false;
+  cfg.locations_to_corrupt = {"predictor/fc7/W"};
+  cfg.seed = 23;
+  Corrupter corrupter(cfg);
+  ModelContext ctx(*s.model_a, *s.adapter_a);
+  InjectionReport rep = corrupter.corrupt(s.ckpt_a, &ctx);
+
+  const mh5::File before = mh5::File::deserialize(s.ckpt_b.serialize());
+  const ReplayStats stats =
+      replay_injection_log(rep.log, s.ckpt_b, *s.model_b, *s.adapter_b,
+                           ReplayMode::SameLayerBit, 5);
+  EXPECT_EQ(stats.replayed, 5u);
+  // Each replayed record multiplied some value in the pytorch fc7 dataset.
+  const std::string path = "state_dict/fc7.weight";
+  const auto& before_ds = before.dataset(path);
+  const auto& after_ds = s.ckpt_b.dataset(path);
+  std::size_t scaled = 0;
+  for (std::uint64_t i = 0; i < before_ds.num_elements(); ++i) {
+    const double b = before_ds.get_double(i), a = after_ds.get_double(i);
+    if (b != a) {
+      ++scaled;
+      EXPECT_NEAR(a, b * 100.0, 1e-9 * std::abs(a));
+    }
+  }
+  EXPECT_GE(scaled, 1u);
+  EXPECT_LE(scaled, 5u);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,185 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nev.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+/// A deliberately tiny configuration so each test runs in well under a
+/// second: 64 train images, 32 test images, width-2 AlexNet.
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.framework = "chainer";
+  cfg.model = "alexnet";
+  cfg.model_cfg.width = 2;
+  cfg.data_cfg.num_train = 64;
+  cfg.data_cfg.num_test = 32;
+  cfg.batch_size = 16;
+  cfg.total_epochs = 3;
+  cfg.restart_epoch = 1;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(ExperimentRunner, ValidatesEpochOrdering) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.restart_epoch = 3;  // == total_epochs
+  EXPECT_THROW(ExperimentRunner{cfg}, InvalidArgument);
+}
+
+TEST(ExperimentRunner, CheckpointCarriesMetadata) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  EXPECT_EQ(fw::checkpoint_epoch(ckpt), 1);
+  EXPECT_EQ(fw::checkpoint_framework(ckpt), "chainer");
+  EXPECT_EQ(fw::checkpoint_precision(ckpt), 64);
+}
+
+TEST(ExperimentRunner, CheckpointCacheIsStable) {
+  ExperimentRunner runner(tiny_config());
+  const auto a = runner.restart_checkpoint().serialize();
+  const auto b = runner.restart_checkpoint().serialize();
+  EXPECT_EQ(a, b);  // second call is served from cache, byte-identical
+}
+
+TEST(ExperimentRunner, LaterCheckpointExtendsEarlier) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File at1 = runner.checkpoint_at(1);
+  const mh5::File at2 = runner.checkpoint_at(2);
+  EXPECT_EQ(fw::checkpoint_epoch(at2), 2);
+  EXPECT_NE(at1.serialize(), at2.serialize());
+
+  // Extending from the cache must equal training straight to epoch 2.
+  ExperimentRunner fresh(tiny_config());
+  EXPECT_EQ(fresh.checkpoint_at(2).serialize(), at2.serialize());
+}
+
+TEST(ExperimentRunner, TwoRunnersAreBitIdentical) {
+  ExperimentRunner a(tiny_config());
+  ExperimentRunner b(tiny_config());
+  EXPECT_EQ(a.restart_checkpoint().serialize(),
+            b.restart_checkpoint().serialize());
+  const nn::TrainResult ra = a.clean_resume();
+  const nn::TrainResult rb = b.clean_resume();
+  ASSERT_EQ(ra.epochs.size(), rb.epochs.size());
+  for (std::size_t i = 0; i < ra.epochs.size(); ++i) {
+    EXPECT_EQ(ra.epochs[i].train_loss, rb.epochs[i].train_loss);
+    EXPECT_EQ(ra.epochs[i].test_accuracy, rb.epochs[i].test_accuracy);
+  }
+}
+
+TEST(ExperimentRunner, CleanResumeRunsToTotalEpochs) {
+  ExperimentRunner runner(tiny_config());
+  const nn::TrainResult& res = runner.clean_resume();
+  EXPECT_EQ(res.epochs.size(), 2u);  // epochs 1 and 2
+  EXPECT_EQ(res.epochs.front().epoch, 1u);
+  EXPECT_EQ(res.epochs.back().epoch, 2u);
+  EXPECT_FALSE(res.collapsed);
+}
+
+TEST(ExperimentRunner, ResumeFromUncorruptedEqualsCleanResume) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  const nn::TrainResult res = runner.resume_training(ckpt);
+  const nn::TrainResult& clean = runner.clean_resume();
+  EXPECT_EQ(res.final_accuracy, clean.final_accuracy);
+  EXPECT_EQ(res.epochs.back().train_loss, clean.epochs.back().train_loss);
+}
+
+TEST(ExperimentRunner, CorruptedResumeDiffersOrCollapses) {
+  ExperimentRunner runner(tiny_config());
+  mh5::File ckpt = runner.restart_checkpoint();
+  CorrupterConfig cc;
+  cc.injection_attempts = 200;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 63;
+  cc.seed = 3;
+  Corrupter corrupter(cc);
+  corrupter.corrupt(ckpt);
+  const nn::TrainResult res = runner.resume_training(ckpt);
+  const nn::TrainResult& clean = runner.clean_resume();
+  // 200 flips into a ~1.5k-parameter model with full bit range: outcome
+  // must differ from clean, often collapsing.
+  EXPECT_TRUE(res.collapsed ||
+              res.final_accuracy != clean.final_accuracy);
+}
+
+TEST(ExperimentRunner, PredictMatchesResumeEvaluation) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  const nn::EvalResult eval = runner.predict(ckpt);
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 1.0);
+  EXPECT_FALSE(eval.nev);
+}
+
+TEST(ExperimentRunner, PredictDetectsNevFromCorruptedWeights) {
+  ExperimentRunner runner(tiny_config());
+  mh5::File ckpt = runner.restart_checkpoint();
+  // Force a NaN into a weight dataset directly.
+  const auto paths = ckpt.dataset_paths();
+  ASSERT_FALSE(paths.empty());
+  ckpt.dataset(paths.front()).set_double(0, std::nan(""));
+  const nn::EvalResult eval = runner.predict(ckpt);
+  EXPECT_TRUE(eval.nev);
+}
+
+TEST(ExperimentRunner, PredictSubsetPartitionsTestSet) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  const nn::EvalResult p0 = runner.predict_subset(ckpt, 0, 2);
+  const nn::EvalResult p1 = runner.predict_subset(ckpt, 1, 2);
+  EXPECT_GE(p0.accuracy, 0.0);
+  EXPECT_GE(p1.accuracy, 0.0);
+  EXPECT_THROW(runner.predict_subset(ckpt, 2, 2), InvalidArgument);
+}
+
+TEST(ExperimentRunner, WeightsOfExposesCanonicalNames) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  const auto weights = runner.weights_of(ckpt);
+  EXPECT_TRUE(weights.count("conv1/W"));
+  EXPECT_TRUE(weights.count("fc8/b"));
+  EXPECT_EQ(weights.size(), runner.make_model()->params().size());
+}
+
+TEST(ExperimentRunner, FrameworksTrainDifferentWeights) {
+  ExperimentConfig cfg = tiny_config();
+  ExperimentRunner chainer(cfg);
+  cfg.framework = "pytorch";
+  ExperimentRunner pytorch(cfg);
+  const auto wa = chainer.weights_of(chainer.restart_checkpoint());
+  const auto wb = pytorch.weights_of(pytorch.restart_checkpoint());
+  EXPECT_NE(wa.at("conv1/W"), wb.at("conv1/W"));
+}
+
+TEST(ExperimentRunner, PrecisionQuantisesCheckpoint) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.precision_bits = 16;
+  ExperimentRunner runner(cfg);
+  const mh5::File ckpt = runner.restart_checkpoint();
+  EXPECT_EQ(fw::checkpoint_precision(ckpt), 16);
+  for (const auto& path : ckpt.dataset_paths()) {
+    EXPECT_EQ(ckpt.dataset(path).dtype(), mh5::DType::F16) << path;
+  }
+}
+
+TEST(ExperimentRunner, ContextMapsCheckpointPaths) {
+  ExperimentRunner runner(tiny_config());
+  auto model = runner.make_model();
+  const ModelContext ctx = runner.make_context(*model);
+  const auto* info = ctx.lookup("predictor/conv1/W");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->canonical_param, "conv1/W");
+  EXPECT_EQ(info->layer, "conv1");
+  EXPECT_EQ(ctx.lookup("bogus/path"), nullptr);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

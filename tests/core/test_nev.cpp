@@ -1,0 +1,66 @@
+#include "core/nev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/models.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+TEST(NevScan, CleanFileHasNone) {
+  mh5::File f;
+  auto& ds = f.create_dataset("w", mh5::DType::F64, {4});
+  ds.write_doubles({0.1, -0.2, 1e20, 0.0});
+  const NevScan scan = scan_checkpoint(f);
+  EXPECT_EQ(scan.total, 4u);
+  EXPECT_EQ(scan.nev(), 0u);
+  EXPECT_FALSE(scan.any());
+}
+
+TEST(NevScan, ClassifiesNanInfExtreme) {
+  mh5::File f;
+  auto& ds = f.create_dataset("w", mh5::DType::F64, {5});
+  ds.set_double(0, std::nan(""));
+  ds.set_double(1, INFINITY);
+  ds.set_double(2, -INFINITY);
+  ds.set_double(3, 1e31);  // beyond kExtremeThreshold
+  ds.set_double(4, 0.5);
+  const NevScan scan = scan_checkpoint(f);
+  EXPECT_EQ(scan.nan, 1u);
+  EXPECT_EQ(scan.inf, 2u);
+  EXPECT_EQ(scan.extreme, 1u);
+  EXPECT_EQ(scan.nev(), 4u);
+  EXPECT_TRUE(scan.any());
+}
+
+TEST(NevScan, IgnoresIntegerDatasets) {
+  mh5::File f;
+  f.create_dataset("ints", mh5::DType::I64, {3});
+  const NevScan scan = scan_checkpoint(f);
+  EXPECT_EQ(scan.total, 0u);
+}
+
+TEST(NevScan, F16InfinityDetected) {
+  mh5::File f;
+  auto& ds = f.create_dataset("w", mh5::DType::F16, {1});
+  ds.set_element_bits(0, 0x7c00u);  // +inf in half
+  EXPECT_EQ(scan_checkpoint(f).inf, 1u);
+}
+
+TEST(NevScan, ModelScan) {
+  models::ModelConfig cfg;
+  cfg.width = 2;
+  auto model = models::make_mini_alexnet(cfg);
+  model->init(1);
+  EXPECT_FALSE(scan_model(*model).any());
+  (*model->find_param("conv1/W")->value)[0] = std::nan("");
+  (*model->find_param("fc8/b")->value)[0] = 1e31;
+  const NevScan scan = scan_model(*model);
+  EXPECT_EQ(scan.nan, 1u);
+  EXPECT_EQ(scan.extreme, 1u);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,107 @@
+#include "core/protection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/corrupter.hpp"
+#include "core/nev.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+mh5::File damaged_file() {
+  mh5::File f;
+  auto& ds = f.create_dataset("w", mh5::DType::F64, {6});
+  ds.set_double(0, 0.5);
+  ds.set_double(1, std::nan(""));
+  ds.set_double(2, INFINITY);
+  ds.set_double(3, -INFINITY);
+  ds.set_double(4, 1e31);
+  ds.set_double(5, -2.0);
+  return f;
+}
+
+TEST(Guard, ZeroRepairsAllNev) {
+  mh5::File f = damaged_file();
+  const GuardReport rep = guard_checkpoint(f, {1e30, RepairAction::Zero});
+  EXPECT_EQ(rep.nan_found, 1u);
+  EXPECT_EQ(rep.inf_found, 2u);
+  EXPECT_EQ(rep.extreme_found, 1u);
+  EXPECT_EQ(rep.repaired, 4u);
+  EXPECT_FALSE(rep.rejected);
+  const auto& ds = f.dataset("w");
+  EXPECT_DOUBLE_EQ(ds.get_double(0), 0.5);
+  EXPECT_DOUBLE_EQ(ds.get_double(1), 0.0);
+  EXPECT_DOUBLE_EQ(ds.get_double(2), 0.0);
+  EXPECT_DOUBLE_EQ(ds.get_double(4), 0.0);
+  EXPECT_DOUBLE_EQ(ds.get_double(5), -2.0);
+  EXPECT_FALSE(scan_checkpoint(f).any());
+}
+
+TEST(Guard, ClampPreservesSign) {
+  mh5::File f = damaged_file();
+  guard_checkpoint(f, {1e30, RepairAction::Clamp});
+  const auto& ds = f.dataset("w");
+  EXPECT_DOUBLE_EQ(ds.get_double(1), 0.0);  // NaN has no usable sign
+  EXPECT_DOUBLE_EQ(ds.get_double(2), 1e30);
+  EXPECT_DOUBLE_EQ(ds.get_double(3), -1e30);
+  EXPECT_DOUBLE_EQ(ds.get_double(4), 1e30);
+}
+
+TEST(Guard, RejectReportsWithoutMutating) {
+  mh5::File f = damaged_file();
+  const auto before = f.serialize();
+  const GuardReport rep = guard_checkpoint(f, {1e30, RepairAction::Reject});
+  EXPECT_TRUE(rep.rejected);
+  EXPECT_EQ(rep.repaired, 0u);
+  EXPECT_EQ(f.serialize(), before);
+}
+
+TEST(Guard, CleanFileIsUntouched) {
+  mh5::File f;
+  f.create_dataset("w", mh5::DType::F64, {2}).write_doubles({1.0, -1.0});
+  const auto before = f.serialize();
+  const GuardReport rep = guard_checkpoint(f);
+  EXPECT_EQ(rep.found(), 0u);
+  EXPECT_FALSE(rep.rejected);
+  EXPECT_EQ(f.serialize(), before);
+}
+
+TEST(Guard, ThresholdIsConfigurable) {
+  mh5::File f;
+  f.create_dataset("w", mh5::DType::F64, {1}).set_double(0, 1e6);
+  GuardReport rep = guard_checkpoint(f, {1e5, RepairAction::Zero});
+  EXPECT_EQ(rep.extreme_found, 1u);
+  EXPECT_DOUBLE_EQ(f.dataset("w").get_double(0), 0.0);
+}
+
+TEST(Guard, IgnoresIntegerDatasets) {
+  mh5::File f;
+  f.create_dataset("ints", mh5::DType::I64, {1}).set_int(0, 1 << 30);
+  const GuardReport rep = guard_checkpoint(f);
+  EXPECT_EQ(rep.scanned, 0u);
+}
+
+// The paper's Discussion VI.1 claim, end to end: critical-bit corruption
+// that would otherwise collapse the file is fully disarmed by the guard.
+TEST(Guard, DisarmsCriticalBitCorruption) {
+  mh5::File f;
+  auto& ds = f.create_dataset("model/w", mh5::DType::F64, {64});
+  for (std::uint64_t i = 0; i < 64; ++i) ds.set_double(i, 0.5);
+  CorrupterConfig cc;
+  cc.injection_attempts = 64;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 62;
+  cc.last_bit = 62;  // critical bit only
+  cc.seed = 1;
+  Corrupter corrupter(cc);
+  corrupter.corrupt(f);
+  EXPECT_TRUE(scan_checkpoint(f).any());
+
+  guard_checkpoint(f, {1e30, RepairAction::Zero});
+  EXPECT_FALSE(scan_checkpoint(f).any());
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,43 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"model", "acc"});
+  t.add_row({"alexnet", "83.1"});
+  t.add_row({"vgg16", "84.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("model    acc"), std::string::npos);
+  EXPECT_NE(s.find("alexnet  83.1"), std::string::npos);
+  EXPECT_NE(s.find("vgg16    84.5"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRuleSpansWidth) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "y"});
+  const std::string s = t.str();
+  // Rule line of dashes exists and is at least as wide as the widest row.
+  EXPECT_NE(s.find("-------"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, NoRowsStillRendersHeader) {
+  TextTable t({"col"});
+  EXPECT_NE(t.str().find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,171 @@
+#include "data/synthetic_cifar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/common.hpp"
+
+namespace ckptfi::data {
+namespace {
+
+SyntheticCifarConfig small_cfg() {
+  SyntheticCifarConfig cfg;
+  cfg.num_train = 100;
+  cfg.num_test = 40;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(SyntheticCifar, ShapesAndLabels) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  EXPECT_EQ(split.train.images.shape(), (Shape{100, 3, 32, 32}));
+  EXPECT_EQ(split.test.images.shape(), (Shape{40, 3, 32, 32}));
+  EXPECT_EQ(split.train.labels.size(), 100u);
+  for (auto l : split.train.labels) EXPECT_LT(l, 10);
+}
+
+TEST(SyntheticCifar, BalancedClasses) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  std::vector<int> counts(10, 0);
+  for (auto l : split.train.labels) counts[l]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticCifar, DeterministicForSeed) {
+  const TrainTestSplit a = make_synthetic_cifar10(small_cfg());
+  const TrainTestSplit b = make_synthetic_cifar10(small_cfg());
+  EXPECT_EQ(a.train.images.vec(), b.train.images.vec());
+  EXPECT_EQ(a.test.images.vec(), b.test.images.vec());
+}
+
+TEST(SyntheticCifar, DifferentSeedsDiffer) {
+  auto cfg = small_cfg();
+  const TrainTestSplit a = make_synthetic_cifar10(cfg);
+  cfg.seed = 10;
+  const TrainTestSplit b = make_synthetic_cifar10(cfg);
+  EXPECT_NE(a.train.images.vec(), b.train.images.vec());
+}
+
+TEST(SyntheticCifar, TrainAndTestAreIndependentDraws) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  // Same class structure but different noise: first images differ.
+  std::vector<double> train0(split.train.images.data(),
+                             split.train.images.data() + 32);
+  std::vector<double> test0(split.test.images.data(),
+                            split.test.images.data() + 32);
+  EXPECT_NE(train0, test0);
+}
+
+TEST(SyntheticCifar, ValuesBounded) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  for (double v : split.train.images.vec()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 10.0);
+  }
+}
+
+// Classes must be separable: a nearest-class-centroid classifier on raw
+// pixels should beat chance by a wide margin, or no model can learn.
+TEST(SyntheticCifar, NearestCentroidBeatChance) {
+  SyntheticCifarConfig cfg;
+  cfg.num_train = 400;
+  cfg.num_test = 100;
+  cfg.seed = 4;
+  const TrainTestSplit split = make_synthetic_cifar10(cfg);
+  const std::size_t dim = 3 * 32 * 32;
+  std::vector<std::vector<double>> centroids(10,
+                                             std::vector<double>(dim, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    const auto c = split.train.labels[i];
+    counts[c]++;
+    const double* img = split.train.images.data() + i * dim;
+    for (std::size_t d = 0; d < dim; ++d) centroids[c][d] += img[d];
+  }
+  for (int c = 0; c < 10; ++c)
+    for (auto& v : centroids[c]) v /= counts[c];
+
+  int correct = 0;
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    const double* img = split.test.images.data() + i * dim;
+    double best = 1e300;
+    int best_c = -1;
+    for (int c = 0; c < 10; ++c) {
+      double d2 = 0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = img[d] - centroids[c][d];
+        d2 += diff * diff;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    correct += (best_c == split.test.labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(correct) / split.test.size(), 0.5);
+}
+
+TEST(DataLoader, BatchesCoverDatasetOnce) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  DataLoader loader(split.train, 32, 1);
+  const auto batches = loader.batches(0);
+  ASSERT_EQ(batches.size(), 4u);  // 100 / 32 -> 32,32,32,4
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.x.dim(0), b.y.size());
+    total += b.y.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(DataLoader, EpochShufflesDeterministically) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  DataLoader loader(split.train, 16, 7);
+  const auto a0 = loader.batches(0);
+  const auto b0 = loader.batches(0);
+  EXPECT_EQ(a0[0].y, b0[0].y);
+  EXPECT_EQ(a0[0].x.vec(), b0[0].x.vec());
+  const auto a1 = loader.batches(1);
+  EXPECT_NE(a0[0].y, a1[0].y);  // different epoch, different order
+}
+
+TEST(DataLoader, ResumedEpochSeesSameBatches) {
+  // The property the paper's restart methodology relies on: batches of epoch
+  // k are the same whether or not earlier epochs were consumed.
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  DataLoader fresh(split.train, 16, 7);
+  DataLoader resumed(split.train, 16, 7);
+  (void)fresh.batches(0);
+  (void)fresh.batches(1);
+  EXPECT_EQ(fresh.batches(2)[0].y, resumed.batches(2)[0].y);
+}
+
+TEST(DataLoader, SequentialBatchesPreserveOrder) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  DataLoader loader(split.test, 8, 1);
+  const auto batches = loader.sequential_batches();
+  EXPECT_EQ(batches[0].y[0], split.test.labels[0]);
+  EXPECT_EQ(batches[1].y[0], split.test.labels[8]);
+}
+
+TEST(DataLoader, ProviderBindsBatches) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  DataLoader loader(split.train, 16, 3);
+  const auto provider = loader.provider();
+  EXPECT_EQ(provider(4)[0].y, loader.batches(4)[0].y);
+}
+
+TEST(DataLoader, InvalidConstruction) {
+  const TrainTestSplit split = make_synthetic_cifar10(small_cfg());
+  EXPECT_THROW(DataLoader(split.train, 0, 1), InvalidArgument);
+  Dataset empty;
+  empty.images = Tensor({1, 1, 1, 1});
+  EXPECT_THROW(DataLoader(empty, 4, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckptfi::data

@@ -1,0 +1,55 @@
+#include "hdf5/dtype.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace ckptfi::mh5 {
+namespace {
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(dtype_size(DType::F16), 2u);
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::F64), 8u);
+  EXPECT_EQ(dtype_size(DType::I32), 4u);
+  EXPECT_EQ(dtype_size(DType::I64), 8u);
+  EXPECT_EQ(dtype_size(DType::U8), 1u);
+}
+
+TEST(DType, FloatClassification) {
+  EXPECT_TRUE(dtype_is_float(DType::F16));
+  EXPECT_TRUE(dtype_is_float(DType::F32));
+  EXPECT_TRUE(dtype_is_float(DType::F64));
+  EXPECT_FALSE(dtype_is_float(DType::I32));
+  EXPECT_FALSE(dtype_is_float(DType::I64));
+  EXPECT_FALSE(dtype_is_float(DType::U8));
+}
+
+TEST(DType, NameRoundTrip) {
+  for (DType t : {DType::F16, DType::F32, DType::F64, DType::I32, DType::I64,
+                  DType::U8}) {
+    EXPECT_EQ(dtype_from_name(dtype_name(t)), t);
+  }
+}
+
+TEST(DType, UnknownNameThrows) {
+  EXPECT_THROW(dtype_from_name("f128"), FormatError);
+  EXPECT_THROW(dtype_from_name(""), FormatError);
+}
+
+TEST(DType, FloatDtypeForBits) {
+  EXPECT_EQ(float_dtype_for_bits(16), DType::F16);
+  EXPECT_EQ(float_dtype_for_bits(32), DType::F32);
+  EXPECT_EQ(float_dtype_for_bits(64), DType::F64);
+  EXPECT_THROW(float_dtype_for_bits(8), InvalidArgument);
+}
+
+TEST(DType, BitsMatchSizes) {
+  for (DType t : {DType::F16, DType::F32, DType::F64, DType::I32, DType::I64,
+                  DType::U8}) {
+    EXPECT_EQ(dtype_bits(t), static_cast<int>(dtype_size(t)) * 8);
+  }
+}
+
+}  // namespace
+}  // namespace ckptfi::mh5

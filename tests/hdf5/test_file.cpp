@@ -1,0 +1,183 @@
+#include "hdf5/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/common.hpp"
+
+namespace ckptfi::mh5 {
+namespace {
+
+File make_sample() {
+  File f;
+  f.root().set_attr("framework", std::string("chainer"));
+  f.root().set_attr("epoch", std::int64_t{20});
+  Dataset& w = f.create_dataset("predictor/conv1_1/W", DType::F64, {2, 3});
+  w.write_doubles({1, 2, 3, 4, 5, 6});
+  Dataset& b = f.create_dataset("predictor/conv1_1/b", DType::F32, {3});
+  b.write_doubles({0.5, -0.5, 0.0});
+  f.create_dataset("meta/steps", DType::I64, {1}).set_int(0, 1234);
+  f.find("predictor")->set_attr("kind", std::string("model"));
+  return f;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(File, PathCreateAndFind) {
+  File f = make_sample();
+  EXPECT_TRUE(f.exists("predictor/conv1_1/W"));
+  EXPECT_TRUE(f.exists("predictor/conv1_1"));
+  EXPECT_TRUE(f.exists("predictor"));
+  EXPECT_FALSE(f.exists("predictor/conv9"));
+  EXPECT_TRUE(f.find("predictor")->is_group());
+  EXPECT_TRUE(f.find("predictor/conv1_1/W")->is_dataset());
+}
+
+TEST(File, DatasetAccessor) {
+  File f = make_sample();
+  EXPECT_EQ(f.dataset("predictor/conv1_1/W").num_elements(), 6u);
+  EXPECT_THROW(f.dataset("nope"), InvalidArgument);
+  EXPECT_THROW(f.dataset("predictor"), InvalidArgument);  // group, not dataset
+}
+
+TEST(File, CreateGroupIsIdempotent) {
+  File f;
+  Node& g1 = f.create_group("a/b");
+  Node& g2 = f.create_group("a/b");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(File, CreateDatasetRejectsDuplicates) {
+  File f;
+  f.create_dataset("x/y", DType::F32, {1});
+  EXPECT_THROW(f.create_dataset("x/y", DType::F32, {1}), InvalidArgument);
+}
+
+TEST(File, CreateDatasetUnderDatasetThrows) {
+  File f;
+  f.create_dataset("x", DType::F32, {1});
+  EXPECT_THROW(f.create_dataset("x/y", DType::F32, {1}), InvalidArgument);
+}
+
+TEST(File, Remove) {
+  File f = make_sample();
+  EXPECT_TRUE(f.remove("predictor/conv1_1/b"));
+  EXPECT_FALSE(f.exists("predictor/conv1_1/b"));
+  EXPECT_FALSE(f.remove("predictor/conv1_1/b"));
+  EXPECT_TRUE(f.remove("predictor"));
+  EXPECT_FALSE(f.exists("predictor/conv1_1/W"));
+}
+
+TEST(File, VisitSeesAllNodes) {
+  File f = make_sample();
+  std::vector<std::string> paths;
+  f.visit([&](const std::string& p, const Node&) { paths.push_back(p); });
+  // root + predictor + conv1_1 + W + b + meta + steps
+  EXPECT_EQ(paths.size(), 7u);
+  EXPECT_EQ(paths.front(), "");
+}
+
+TEST(File, DatasetPathsInTreeOrder) {
+  File f = make_sample();
+  EXPECT_EQ(f.dataset_paths(),
+            (std::vector<std::string>{"predictor/conv1_1/W",
+                                      "predictor/conv1_1/b", "meta/steps"}));
+}
+
+TEST(File, TotalEntries) {
+  File f = make_sample();
+  EXPECT_EQ(f.total_entries(), 6u + 3u + 1u);
+}
+
+TEST(File, SerializeRoundTrip) {
+  File f = make_sample();
+  const auto bytes = f.serialize();
+  File g = File::deserialize(bytes);
+  EXPECT_EQ(g.dataset("predictor/conv1_1/W").read_doubles(),
+            (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(g.dataset("predictor/conv1_1/b").dtype(), DType::F32);
+  EXPECT_EQ(g.dataset("meta/steps").get_int(0), 1234);
+  EXPECT_EQ(std::get<std::string>(g.root().attr("framework")), "chainer");
+  EXPECT_EQ(std::get<std::string>(g.find("predictor")->attr("kind")), "model");
+  // Round-trip is byte-stable.
+  EXPECT_EQ(g.serialize(), bytes);
+}
+
+TEST(File, DiskSaveLoad) {
+  const std::string path = temp_path("mh5_test_roundtrip.h5");
+  make_sample().save(path);
+  File g = File::load(path);
+  EXPECT_EQ(g.dataset("predictor/conv1_1/W").read_doubles(),
+            (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  std::remove(path.c_str());
+}
+
+TEST(File, LoadMissingFileThrows) {
+  EXPECT_THROW(File::load("/nonexistent/dir/file.h5"), Error);
+}
+
+TEST(File, BadMagicRejected) {
+  auto bytes = make_sample().serialize();
+  bytes[0] = 'X';
+  EXPECT_THROW(File::deserialize(bytes), FormatError);
+}
+
+TEST(File, UnsupportedVersionRejected) {
+  auto bytes = make_sample().serialize();
+  bytes[4] = 99;
+  EXPECT_THROW(File::deserialize(bytes), FormatError);
+}
+
+TEST(File, TruncationRejected) {
+  auto bytes = make_sample().serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(File::deserialize(bytes), FormatError);
+}
+
+TEST(File, TrailingBytesRejected) {
+  auto bytes = make_sample().serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(File::deserialize(bytes), FormatError);
+}
+
+TEST(File, DataCorruptionDetectedByCrc) {
+  auto bytes = make_sample().serialize();
+  // Locate the little-endian encoding of 3.0 inside the W payload and flip a
+  // bit of it: the dataset CRC must catch the corruption.
+  const unsigned char three[8] = {0, 0, 0, 0, 0, 0, 8, 0x40};
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = 0; i + 8 <= bytes.size(); ++i) {
+    if (std::equal(three, three + 8, bytes.begin() + static_cast<long>(i))) {
+      pos = i;
+      break;
+    }
+  }
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 3] ^= 0x10;
+  EXPECT_THROW(File::deserialize(bytes), FormatError);
+}
+
+TEST(File, InPlaceMutationRoundTrips) {
+  File f = make_sample();
+  f.dataset("predictor/conv1_1/W").set_element_bits(
+      0, f.dataset("predictor/conv1_1/W").element_bits(0) ^ (1ull << 62));
+  const auto bytes = f.serialize();
+  File g = File::deserialize(bytes);
+  EXPECT_EQ(g.dataset("predictor/conv1_1/W").element_bits(0),
+            f.dataset("predictor/conv1_1/W").element_bits(0));
+}
+
+TEST(File, EmptyFileRoundTrips) {
+  File f;
+  File g = File::deserialize(f.serialize());
+  EXPECT_TRUE(g.root().is_group());
+  EXPECT_EQ(g.total_entries(), 0u);
+  EXPECT_TRUE(g.dataset_paths().empty());
+}
+
+}  // namespace
+}  // namespace ckptfi::mh5

@@ -1,0 +1,158 @@
+#include "hdf5/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace ckptfi::mh5 {
+namespace {
+
+TEST(Dataset, ShapeAndElementCount) {
+  Dataset ds(DType::F32, {2, 3, 4});
+  EXPECT_EQ(ds.num_elements(), 24u);
+  EXPECT_EQ(ds.rank(), 3u);
+  EXPECT_EQ(ds.raw().size(), 24u * 4);
+}
+
+TEST(Dataset, ScalarHasOneElement) {
+  Dataset ds(DType::F64, {});
+  EXPECT_EQ(ds.num_elements(), 1u);
+}
+
+TEST(Dataset, ZeroDimThrows) {
+  EXPECT_THROW(Dataset(DType::F32, {2, 0}), InvalidArgument);
+}
+
+TEST(Dataset, DoubleRoundTripPerDtype) {
+  for (DType t : {DType::F16, DType::F32, DType::F64}) {
+    Dataset ds(t, {4});
+    ds.set_double(0, 1.5);
+    ds.set_double(1, -0.25);
+    ds.set_double(2, 0.0);
+    ds.set_double(3, 42.0);
+    EXPECT_DOUBLE_EQ(ds.get_double(0), 1.5) << dtype_name(t);
+    EXPECT_DOUBLE_EQ(ds.get_double(1), -0.25);
+    EXPECT_DOUBLE_EQ(ds.get_double(2), 0.0);
+    EXPECT_DOUBLE_EQ(ds.get_double(3), 42.0);
+  }
+}
+
+TEST(Dataset, F16QuantisesOnWrite) {
+  Dataset ds(DType::F16, {1});
+  ds.set_double(0, 1.0 + 1e-5);  // not representable in half
+  EXPECT_DOUBLE_EQ(ds.get_double(0), 1.0);
+}
+
+TEST(Dataset, IntAccess) {
+  Dataset ds(DType::I32, {2});
+  ds.set_int(0, -123);
+  ds.set_int(1, 1 << 30);
+  EXPECT_EQ(ds.get_int(0), -123);
+  EXPECT_EQ(ds.get_int(1), 1 << 30);
+}
+
+TEST(Dataset, I64FullRange) {
+  Dataset ds(DType::I64, {1});
+  ds.set_int(0, std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(ds.get_int(0), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Dataset, U8Wraps) {
+  Dataset ds(DType::U8, {1});
+  ds.set_int(0, 255);
+  EXPECT_EQ(ds.get_int(0), 255);
+}
+
+TEST(Dataset, ElementBitsExposeExactRepresentation) {
+  Dataset ds(DType::F64, {1});
+  ds.set_double(0, 0.25);
+  EXPECT_EQ(ds.element_bits(0), 0x3fd0000000000000ull);
+  ds.set_element_bits(0, 0x3ff0000000000000ull);
+  EXPECT_DOUBLE_EQ(ds.get_double(0), 1.0);
+}
+
+TEST(Dataset, ElementBitsF16Width) {
+  Dataset ds(DType::F16, {1});
+  ds.set_element_bits(0, 0x3c00u);
+  EXPECT_DOUBLE_EQ(ds.get_double(0), 1.0);
+}
+
+TEST(Dataset, IndexOutOfRangeThrows) {
+  Dataset ds(DType::F32, {3});
+  EXPECT_THROW(ds.get_double(3), InvalidArgument);
+  EXPECT_THROW(ds.set_element_bits(3, 0), InvalidArgument);
+}
+
+TEST(Dataset, BulkDoubles) {
+  Dataset ds(DType::F64, {3});
+  ds.write_doubles({1, 2, 3});
+  EXPECT_EQ(ds.read_doubles(), (std::vector<double>{1, 2, 3}));
+  EXPECT_THROW(ds.write_doubles({1, 2}), InvalidArgument);
+}
+
+TEST(Dataset, ChecksumChangesWithContent) {
+  Dataset ds(DType::F64, {4});
+  const auto c0 = ds.checksum();
+  ds.set_double(2, 7.0);
+  EXPECT_NE(ds.checksum(), c0);
+}
+
+TEST(Node, GroupChildren) {
+  Node g;
+  EXPECT_TRUE(g.is_group());
+  g.add_child("a", std::make_unique<Node>());
+  g.add_child("b", std::make_unique<Node>(Dataset(DType::F32, {2})));
+  EXPECT_NE(g.find("a"), nullptr);
+  EXPECT_TRUE(g.find("b")->is_dataset());
+  EXPECT_EQ(g.find("c"), nullptr);
+  EXPECT_EQ(g.children().size(), 2u);
+}
+
+TEST(Node, DuplicateChildThrows) {
+  Node g;
+  g.add_child("x", std::make_unique<Node>());
+  EXPECT_THROW(g.add_child("x", std::make_unique<Node>()), InvalidArgument);
+}
+
+TEST(Node, BadChildNamesThrow) {
+  Node g;
+  EXPECT_THROW(g.add_child("", std::make_unique<Node>()), InvalidArgument);
+  EXPECT_THROW(g.add_child("a/b", std::make_unique<Node>()), InvalidArgument);
+}
+
+TEST(Node, DatasetCannotHaveChildren) {
+  Node ds(Dataset(DType::F32, {1}));
+  EXPECT_THROW(ds.add_child("x", std::make_unique<Node>()), InvalidArgument);
+  EXPECT_THROW(Node().dataset(), InvalidArgument);
+}
+
+TEST(Node, RemoveChild) {
+  Node g;
+  g.add_child("x", std::make_unique<Node>());
+  EXPECT_TRUE(g.remove_child("x"));
+  EXPECT_FALSE(g.remove_child("x"));
+  EXPECT_EQ(g.find("x"), nullptr);
+}
+
+TEST(Node, Attributes) {
+  Node g;
+  g.set_attr("epoch", std::int64_t{20});
+  g.set_attr("lr", 0.02);
+  g.set_attr("framework", std::string("chainer"));
+  EXPECT_TRUE(g.has_attr("epoch"));
+  EXPECT_FALSE(g.has_attr("absent"));
+  EXPECT_EQ(std::get<std::int64_t>(g.attr("epoch")), 20);
+  EXPECT_DOUBLE_EQ(std::get<double>(g.attr("lr")), 0.02);
+  EXPECT_EQ(std::get<std::string>(g.attr("framework")), "chainer");
+  EXPECT_THROW(g.attr("absent"), InvalidArgument);
+  // overwrite
+  g.set_attr("epoch", std::int64_t{21});
+  EXPECT_EQ(std::get<std::int64_t>(g.attr("epoch")), 21);
+  EXPECT_EQ(g.attrs().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ckptfi::mh5

@@ -1,0 +1,97 @@
+// NPZ-format pipeline: the corrupter operating on Chainer's native NPZ
+// snapshots (paper Section III-C / final remarks about other formats).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/corrupter.hpp"
+#include "core/experiment.hpp"
+#include "hdf5/npz.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.framework = "chainer";
+  cfg.model = "alexnet";
+  cfg.model_cfg.width = 2;
+  cfg.data_cfg.num_train = 64;
+  cfg.data_cfg.num_test = 32;
+  cfg.batch_size = 16;
+  cfg.total_epochs = 3;
+  cfg.restart_epoch = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+TEST(NpzPipeline, CheckpointSurvivesNpzRoundTrip) {
+  ExperimentRunner runner(tiny_config());
+  const mh5::File ckpt = runner.restart_checkpoint();
+  const mh5::File back = mh5::npz_deserialize(mh5::npz_serialize(ckpt));
+  // Datasets identical (attributes are dropped by NPZ, like real Chainer
+  // snapshots; loading below works from datasets alone).
+  for (const auto& path : ckpt.dataset_paths()) {
+    EXPECT_EQ(back.dataset(path).raw(), ckpt.dataset(path).raw()) << path;
+  }
+}
+
+TEST(NpzPipeline, CorruptNpzThenResume) {
+  namespace fs = std::filesystem;
+  ExperimentRunner runner(tiny_config());
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  // Save as NPZ, reload, corrupt the reloaded tree, resume training.
+  const std::string path =
+      (fs::temp_directory_path() / "chainer_snapshot.npz").string();
+  mh5::save_npz(ckpt, path);
+  mh5::File from_npz = mh5::load_npz(path);
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 10;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 3;
+  const InjectionReport rep = Corrupter(cc).corrupt(from_npz);
+  EXPECT_EQ(rep.injections, 10u);
+
+  // NPZ drops root attributes; restore the epoch stamp the runner needs
+  // (a real restart script knows its restart epoch the same way).
+  from_npz.root().set_attr("epoch",
+                           static_cast<std::int64_t>(
+                               runner.config().restart_epoch));
+  const nn::TrainResult res = runner.resume_training(from_npz);
+  EXPECT_EQ(res.epochs.size(), 2u);
+  EXPECT_FALSE(res.collapsed);
+  fs::remove(path);
+}
+
+TEST(NpzPipeline, SameSeedCorruptionIdenticalAcrossContainers) {
+  // The corrupter is container-agnostic: corrupting the mh5 tree and the
+  // NPZ-round-tripped tree with the same seed flips the same bits, because
+  // dataset_paths() ordering survives the round trip.
+  ExperimentRunner runner(tiny_config());
+  mh5::File a = runner.restart_checkpoint();
+  mh5::File b = mh5::npz_deserialize(mh5::npz_serialize(a));
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 25;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 77;
+  const InjectionReport ra = Corrupter(cc).corrupt(a);
+  const InjectionReport rb = Corrupter(cc).corrupt(b);
+  ASSERT_EQ(ra.log.size(), rb.log.size());
+  for (std::size_t i = 0; i < ra.log.size(); ++i) {
+    EXPECT_EQ(ra.log.records()[i].location, rb.log.records()[i].location);
+    EXPECT_EQ(ra.log.records()[i].index, rb.log.records()[i].index);
+    EXPECT_EQ(ra.log.records()[i].bits, rb.log.records()[i].bits);
+  }
+  for (const auto& path : a.dataset_paths()) {
+    EXPECT_EQ(a.dataset(path).raw(), b.dataset(path).raw()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,206 @@
+// Integration tests: the full paper pipeline across frameworks and modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/equivalent.hpp"
+#include "core/experiment.hpp"
+#include "core/nev.hpp"
+#include "util/bitops.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+ExperimentConfig tiny_config(const std::string& framework) {
+  ExperimentConfig cfg;
+  cfg.framework = framework;
+  cfg.model = "alexnet";
+  cfg.model_cfg.width = 2;
+  cfg.data_cfg.num_train = 64;
+  cfg.data_cfg.num_test = 32;
+  cfg.batch_size = 16;
+  cfg.total_epochs = 3;
+  cfg.restart_epoch = 1;
+  cfg.seed = 5;
+  return cfg;
+}
+
+class PipelinePerFramework : public ::testing::TestWithParam<std::string> {};
+
+// Train -> checkpoint -> corrupt (MSB excluded) -> resume: must not collapse
+// and must finish with plausible accuracy (the paper's core finding).
+TEST_P(PipelinePerFramework, CorruptResumeSurvivesWithoutCriticalBit) {
+  ExperimentRunner runner(tiny_config(GetParam()));
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 20;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;  // spare exponent MSB + sign
+  cc.seed = 21;
+  Corrupter corrupter(cc);
+  auto model = runner.make_model();
+  ModelContext ctx = runner.make_context(*model);
+  const InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
+  EXPECT_EQ(rep.injections, 20u);
+
+  const nn::TrainResult res = runner.resume_training(ckpt);
+  EXPECT_FALSE(res.collapsed);
+  EXPECT_GT(res.final_accuracy, 0.05);
+}
+
+// Flipping the critical bit (exponent MSB) of many weights collapses the
+// training with N-EV, as in the paper's Fig. 2 finding.
+TEST_P(PipelinePerFramework, ExponentMsbCollapsesTraining) {
+  ExperimentRunner runner(tiny_config(GetParam()));
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 50;
+  cc.corruption_mode = CorruptionMode::BitRange;
+  cc.first_bit = 62;
+  cc.last_bit = 62;  // exponent MSB only
+  cc.seed = 22;
+  Corrupter corrupter(cc);
+  corrupter.corrupt(ckpt);
+
+  const NevScan scan = scan_checkpoint(ckpt);
+  EXPECT_TRUE(scan.any());  // huge values already visible in the file
+  const nn::TrainResult res = runner.resume_training(ckpt);
+  EXPECT_TRUE(res.collapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PipelinePerFramework,
+                         ::testing::Values("chainer", "pytorch",
+                                           "tensorflow"));
+
+// Disk round trip of the whole pipeline: save checkpoint, corrupt the file
+// on disk, reload, resume.
+TEST(Pipeline, DiskCheckpointCorruptionFlow) {
+  namespace fs = std::filesystem;
+  ExperimentRunner runner(tiny_config("tensorflow"));
+  const std::string clean_path =
+      (fs::temp_directory_path() / "pipe_clean.h5").string();
+  const std::string bad_path =
+      (fs::temp_directory_path() / "pipe_bad.h5").string();
+  runner.restart_checkpoint().save(clean_path);
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 10;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 7;
+  Corrupter corrupter(cc);
+  const InjectionReport rep = corrupter.corrupt_file(clean_path, bad_path);
+  EXPECT_EQ(rep.injections, 10u);
+
+  const mh5::File bad = mh5::File::load(bad_path);
+  const nn::TrainResult res = runner.resume_training(bad);
+  EXPECT_EQ(res.epochs.size(), 2u);
+  fs::remove(clean_path);
+  fs::remove(bad_path);
+}
+
+// Equivalent injection across all three frameworks from one log, checking
+// the paper's guarantee: same layer, same bit positions, same order.
+TEST(Pipeline, EquivalentInjectionAcrossAllFrameworks) {
+  ExperimentRunner chainer(tiny_config("chainer"));
+  mh5::File ckpt_a = chainer.restart_checkpoint();
+
+  CorrupterConfig cc;
+  cc.injection_attempts = 15;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.use_random_locations = false;
+  cc.locations_to_corrupt = {"predictor/conv1"};
+  cc.seed = 9;
+  Corrupter corrupter(cc);
+  auto model_a = chainer.make_model();
+  ModelContext ctx = chainer.make_context(*model_a);
+  InjectionReport rep = corrupter.corrupt(ckpt_a, &ctx);
+  rep.log.set_meta("framework", "chainer");
+
+  for (const std::string& other : {"pytorch", "tensorflow"}) {
+    ExperimentRunner target(tiny_config(other));
+    mh5::File ckpt_b = target.restart_checkpoint();
+    auto model_b = target.make_model();
+    const ReplayStats stats =
+        replay_injection_log(rep.log, ckpt_b, *model_b, target.adapter(),
+                             ReplayMode::SameLayerBit, 77);
+    EXPECT_EQ(stats.replayed, 15u) << other;
+    // The corrupted checkpoint must remain loadable and trainable.
+    const nn::TrainResult res = target.resume_training(ckpt_b);
+    EXPECT_EQ(res.epochs.size(), 2u) << other;
+  }
+}
+
+// The ablation claim from DESIGN.md: raw stored offsets do NOT transfer
+// between layouts (they denote different logical weights), while canonical
+// replay does. Demonstrated on the dense layer, whose layout is transposed
+// in chainer but not in tensorflow.
+TEST(Pipeline, RawOffsetsDoNotTransferAcrossLayouts) {
+  auto chainer = fw::make_adapter("chainer");
+  auto tf = fw::make_adapter("tensorflow");
+  const Shape dims{6, 5};  // dense [in,out]
+  bool any_differs = false;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const std::uint64_t chainer_stored =
+        chainer->stored_index(i, dims, fw::ParamKind::DenseW);
+    const std::uint64_t tf_stored =
+        tf->stored_index(i, dims, fw::ParamKind::DenseW);
+    any_differs |= (chainer_stored != tf_stored);
+    // Canonical replay: both map back to the same canonical index.
+    EXPECT_EQ(chainer->canonical_index(chainer_stored, dims,
+                                       fw::ParamKind::DenseW),
+              tf->canonical_index(tf_stored, dims, fw::ParamKind::DenseW));
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+// Scaling-factor corruption (paper Fig. 7) degrades accuracy dramatically
+// compared with the same number of benign bit flips.
+TEST(Pipeline, ScalingFactorIsDramatic) {
+  ExperimentRunner runner(tiny_config("chainer"));
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  CorrupterConfig cc;
+  cc.corruption_mode = CorruptionMode::ScalingFactor;
+  cc.scaling_factor = 4500.0;
+  cc.injection_attempts = 30;
+  cc.use_random_locations = false;
+  // Weight datasets only (scaling running BN stats is not the experiment).
+  cc.locations_to_corrupt = {"predictor/conv1/W", "predictor/conv2/W",
+                             "predictor/fc6/W"};
+  cc.seed = 15;
+  Corrupter corrupter(cc);
+  corrupter.corrupt(ckpt);
+
+  const nn::EvalResult corrupted = runner.predict(ckpt);
+  const nn::EvalResult clean = runner.predict(runner.restart_checkpoint());
+  EXPECT_LT(corrupted.accuracy, clean.accuracy);
+}
+
+// fp16 end-to-end: corrupt a 16-bit checkpoint and resume.
+TEST(Pipeline, HalfPrecisionCheckpointFlow) {
+  ExperimentConfig cfg = tiny_config("chainer");
+  cfg.precision_bits = 16;
+  ExperimentRunner runner(cfg);
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  CorrupterConfig cc;
+  cc.float_precision = 16;
+  cc.injection_attempts = 10;
+  cc.first_bit = 0;
+  cc.last_bit = 13;  // spare f16 exponent MSB (bit 14)
+  cc.seed = 3;
+  Corrupter corrupter(cc);
+  const InjectionReport rep = corrupter.corrupt(ckpt);
+  EXPECT_EQ(rep.injections, 10u);
+  const nn::TrainResult res = runner.resume_training(ckpt);
+  EXPECT_FALSE(res.collapsed);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

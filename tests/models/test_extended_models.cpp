@@ -1,0 +1,94 @@
+// Tests for the extended model zoo (paper's "more DL models" direction).
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::models {
+namespace {
+
+TEST(LeNet5, HasFiveWeightLayers) {
+  ModelConfig cfg;
+  cfg.width = 4;
+  auto m = make_mini_lenet5(cfg);
+  EXPECT_EQ(m->weight_layer_names(),
+            (std::vector<std::string>{"conv1", "conv2", "fc1", "fc2", "fc3"}));
+}
+
+TEST(LeNet5, ClassicWidthReproducesOriginalSizes) {
+  ModelConfig cfg;
+  cfg.width = 4;
+  auto m = make_mini_lenet5(cfg);
+  EXPECT_EQ(m->find_param("conv1/W")->value->shape(), (Shape{6, 3, 5, 5}));
+  EXPECT_EQ(m->find_param("conv2/W")->value->shape(), (Shape{16, 6, 5, 5}));
+  EXPECT_EQ(m->find_param("fc1/W")->value->shape(), (Shape{16 * 25, 120}));
+  EXPECT_EQ(m->find_param("fc2/W")->value->shape(), (Shape{120, 84}));
+}
+
+TEST(LeNet5, ForwardShape) {
+  ModelConfig cfg;
+  cfg.width = 2;
+  auto m = make_mini_lenet5(cfg);
+  m->init(1);
+  Tensor x({2, 3, 32, 32});
+  EXPECT_EQ(m->forward(x, true).shape(), (Shape{2, 10}));
+}
+
+TEST(LeNet5, RequiresClassicInputSize) {
+  ModelConfig cfg;
+  cfg.image_size = 64;
+  EXPECT_THROW(make_mini_lenet5(cfg), InvalidArgument);
+}
+
+TEST(ResNet18, HasEighteenMainWeightLayers) {
+  ModelConfig cfg;
+  cfg.width = 2;
+  auto m = make_mini_resnet18(cfg);
+  const auto layers = m->weight_layer_names();
+  std::size_t downsample = 0;
+  for (const auto& l : layers)
+    downsample += (l.find("_down") != std::string::npos);
+  EXPECT_EQ(downsample, 3u);  // stages 2-4 project the shortcut
+  EXPECT_EQ(layers.size() - downsample, 18u);
+}
+
+TEST(ResNet18, BasicBlocksHaveTwoConvs) {
+  ModelConfig cfg;
+  cfg.width = 2;
+  auto m = make_mini_resnet18(cfg);
+  const auto layers = m->weight_layer_names();
+  std::size_t stage1_convs = 0;
+  for (const auto& l : layers) {
+    if (l.rfind("stage1_", 0) == 0) ++stage1_convs;
+  }
+  EXPECT_EQ(stage1_convs, 4u);  // 2 blocks x 2 convs, no projection
+}
+
+TEST(ResNet18, ForwardAndBackward) {
+  ModelConfig cfg;
+  cfg.width = 2;
+  auto m = make_mini_resnet18(cfg);
+  m->init(3);
+  Tensor x({1, 3, 32, 32});
+  const Tensor y = m->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 10}));
+  EXPECT_FALSE(y.has_non_finite());
+  const Tensor dx = m->backward(Tensor(y.shape(), 0.1));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(ExtendedZoo, ReachableThroughFactory) {
+  ModelConfig cfg;
+  cfg.width = 2;
+  EXPECT_EQ(make_model("lenet5", cfg)->name(), "lenet5");
+  EXPECT_EQ(make_model("resnet18", cfg)->name(), "resnet18");
+}
+
+TEST(ExtendedZoo, PaperSweepListUnchanged) {
+  // Paper-reproduction sweeps must keep iterating exactly the studied trio.
+  EXPECT_EQ(model_names(),
+            (std::vector<std::string>{"resnet50", "vgg16", "alexnet"}));
+}
+
+}  // namespace
+}  // namespace ckptfi::models

@@ -1,0 +1,199 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+namespace {
+
+TEST(Conv2DLayer, ShapesAndParams) {
+  Conv2D conv("conv1", 3, 8, 3, 1, 1);
+  Rng rng(1);
+  conv.init_params(rng);
+  Tensor x({2, 3, 8, 8});
+  const Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 8, 8}));
+
+  std::vector<ParamRef> params;
+  conv.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "conv1/W");
+  EXPECT_EQ(params[0].value->shape(), (Shape{8, 3, 3, 3}));
+  EXPECT_EQ(params[1].name, "conv1/b");
+  EXPECT_TRUE(params[0].trainable);
+}
+
+TEST(Conv2DLayer, StrideReducesSpatial) {
+  Conv2D conv("c", 2, 4, 3, 2, 1);
+  Rng rng(2);
+  conv.init_params(rng);
+  Tensor x({1, 2, 8, 8});
+  EXPECT_EQ(conv.forward(x, true).shape(), (Shape{1, 4, 4, 4}));
+}
+
+TEST(Conv2DLayer, HeInitScalesWithFanIn) {
+  Conv2D narrow("n", 1, 4, 3, 1, 1), wide("w", 64, 4, 3, 1, 1);
+  Rng r1(3), r2(3);
+  narrow.init_params(r1);
+  wide.init_params(r2);
+  auto spread = [](const Tensor& t) {
+    double sq = 0;
+    for (double v : t.vec()) sq += v * v;
+    return std::sqrt(sq / static_cast<double>(t.numel()));
+  };
+  EXPECT_GT(spread(narrow.weight()), 3 * spread(wide.weight()));
+}
+
+TEST(DenseLayer, ForwardMatchesManual) {
+  Dense fc("fc", 2, 3);
+  std::vector<ParamRef> params;
+  fc.collect_params(params);
+  // W [in=2, out=3], b [3]
+  params[0].value->vec() = {1, 2, 3, 4, 5, 6};
+  params[1].value->vec() = {10, 20, 30};
+  Tensor x({1, 2});
+  x[0] = 1;
+  x[1] = 2;
+  const Tensor y = fc.forward(x, true);
+  EXPECT_DOUBLE_EQ(y[0], 1 * 1 + 2 * 4 + 10);
+  EXPECT_DOUBLE_EQ(y[1], 1 * 2 + 2 * 5 + 20);
+  EXPECT_DOUBLE_EQ(y[2], 1 * 3 + 2 * 6 + 30);
+}
+
+TEST(DenseLayer, BadInputShapeThrows) {
+  Dense fc("fc", 4, 2);
+  Tensor x({1, 3});
+  EXPECT_THROW(fc.forward(x, true), InvalidArgument);
+}
+
+TEST(ReLULayer, ForwardZeroesNegatives) {
+  ReLU relu("r");
+  Tensor x = Tensor::from({-1, 0, 2, -3});
+  const Tensor y = relu.forward(x.reshaped({1, 4}), true);
+  EXPECT_DOUBLE_EQ(y[0], 0);
+  EXPECT_DOUBLE_EQ(y[1], 0);
+  EXPECT_DOUBLE_EQ(y[2], 2);
+  EXPECT_DOUBLE_EQ(y[3], 0);
+}
+
+TEST(ReLULayer, BackwardMasks) {
+  ReLU relu("r");
+  Tensor x = Tensor::from({-1, 2, 3, -4}).reshaped({1, 4});
+  relu.forward(x, true);
+  Tensor dy = Tensor::from({10, 10, 10, 10}).reshaped({1, 4});
+  const Tensor dx = relu.backward(dy);
+  EXPECT_DOUBLE_EQ(dx[0], 0);
+  EXPECT_DOUBLE_EQ(dx[1], 10);
+  EXPECT_DOUBLE_EQ(dx[2], 10);
+  EXPECT_DOUBLE_EQ(dx[3], 0);
+}
+
+TEST(ReLULayer, PropagatesNaN) {
+  ReLU relu("r");
+  Tensor x({1, 2});
+  x[0] = std::nan("");
+  x[1] = -1;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_TRUE(std::isnan(y[0]));
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(FlattenLayer, RoundTrips) {
+  Flatten fl("f");
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = fl.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor dx = fl.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(BatchNormLayer, NormalisesBatchStatistics) {
+  BatchNorm2D bn("bn", 2);
+  Rng rng(5);
+  bn.init_params(rng);
+  Tensor x({4, 2, 3, 3});
+  Rng data_rng(6);
+  for (auto& v : x.vec()) v = data_rng.normal(5.0, 2.0);
+  const Tensor y = bn.forward(x, /*training=*/true);
+  // Per-channel mean ~0 and variance ~1 after normalisation.
+  const std::size_t hw = 9;
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0, sq = 0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n) {
+      for (std::size_t i = 0; i < hw; ++i) {
+        const double v = y[(n * 2 + c) * hw + i];
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    const double m = sum / static_cast<double>(count);
+    EXPECT_NEAR(m, 0.0, 1e-10);
+    EXPECT_NEAR(sq / static_cast<double>(count) - m * m, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats) {
+  BatchNorm2D bn("bn", 1);
+  Rng rng(7);
+  bn.init_params(rng);
+  // Before any training step, running stats are (0, 1): eval is identity.
+  Tensor x({1, 1, 2, 2});
+  x.vec() = {1, 2, 3, 4};
+  const Tensor y = bn.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(y[i], x[i], 1e-4);
+}
+
+TEST(BatchNormLayer, RunningStatsUpdateInTraining) {
+  BatchNorm2D bn("bn", 1, /*momentum=*/0.0);  // running = batch exactly
+  Rng rng(8);
+  bn.init_params(rng);
+  Tensor x({2, 1, 1, 2});
+  x.vec() = {2, 4, 6, 8};  // mean 5, var 5
+  bn.forward(x, true);
+  std::vector<ParamRef> params;
+  bn.collect_params(params);
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[2].name, "bn/running_mean");
+  EXPECT_FALSE(params[2].trainable);
+  EXPECT_NEAR((*params[2].value)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*params[3].value)[0], 5.0, 1e-12);
+}
+
+TEST(BatchNormLayer, ParamNames) {
+  BatchNorm2D bn("stage1_block1_bn1", 4);
+  std::vector<ParamRef> params;
+  bn.collect_params(params);
+  EXPECT_EQ(params[0].name, "stage1_block1_bn1/gamma");
+  EXPECT_EQ(params[1].name, "stage1_block1_bn1/beta");
+  EXPECT_EQ(params[3].name, "stage1_block1_bn1/running_var");
+}
+
+TEST(MaxPoolLayer, ForwardBackwardShapes) {
+  MaxPool2D pool("p", 2, 2);
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<double>(i);
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
+  const Tensor dx = pool.backward(Tensor(y.shape(), 1.0));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(GlobalAvgPoolLayer, Shapes) {
+  GlobalAvgPool gap("g");
+  Tensor x({3, 5, 4, 4}, 2.0);
+  const Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{3, 5}));
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  const Tensor dx = gap.backward(Tensor({3, 5}, 16.0));
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_DOUBLE_EQ(dx[0], 1.0);
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

@@ -1,0 +1,96 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace ckptfi::nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogK) {
+  Tensor logits({2, 10});
+  const LossResult r = softmax_cross_entropy(logits, {0, 5});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-12);
+}
+
+TEST(Loss, PerfectPredictionNearZero) {
+  Tensor logits({1, 3});
+  logits[1] = 100.0;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.loss, 0.0, 1e-10);
+}
+
+TEST(Loss, GradientIsProbsMinusOneHotOverN) {
+  Tensor logits({2, 3});
+  logits.vec() = {1, 2, 3, 0, 0, 0};
+  const LossResult r = softmax_cross_entropy(logits, {2, 0});
+  // Row sums of dlogits must be ~0 (softmax gradient property).
+  for (std::size_t i = 0; i < 2; ++i) {
+    double s = 0;
+    for (std::size_t j = 0; j < 3; ++j) s += r.dlogits[i * 3 + j];
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+  // The true-class entry is negative.
+  EXPECT_LT(r.dlogits[2], 0.0);
+  EXPECT_LT(r.dlogits[3], 0.0);
+}
+
+TEST(Loss, GradientMatchesNumerical) {
+  Rng rng(3);
+  Tensor logits({3, 4});
+  for (auto& v : logits.vec()) v = rng.normal();
+  const std::vector<std::uint8_t> labels = {1, 3, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const double num = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2 * eps);
+    EXPECT_NEAR(r.dlogits[i], num, 1e-7);
+  }
+}
+
+TEST(Loss, NaNLogitsGiveNaNLossNotThrow) {
+  Tensor logits({1, 3});
+  logits[0] = std::nan("");
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isnan(r.loss));
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), InvalidArgument);
+}
+
+TEST(Loss, LabelCountMismatchThrows) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), InvalidArgument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits({3, 2});
+  logits.vec() = {1, 0, 0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1, 0}), 2.0 / 3.0);
+}
+
+TEST(Accuracy, NaNRowsCountAsWrong) {
+  Tensor logits({2, 2});
+  logits.vec() = {std::nan(""), 0, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}), 0.5);
+}
+
+TEST(Accuracy, TieBreaksToFirst) {
+  Tensor logits({1, 3});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1}), 0.0);
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

@@ -1,0 +1,90 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::nn {
+namespace {
+
+std::unique_ptr<Model> tiny_model() {
+  auto net = std::make_unique<Sequential>("net");
+  net->emplace<Conv2D>("conv1", 1, 2, 3, 1, 1);
+  net->emplace<ReLU>("relu1");
+  net->emplace<BatchNorm2D>("bn1", 2);
+  net->emplace<Flatten>("flat");
+  net->emplace<Dense>("fc2", 2 * 4 * 4, 3);
+  return std::make_unique<Model>("tiny", Shape{1, 4, 4}, 3, std::move(net));
+}
+
+TEST(Model, ParamsInTopologicalOrder) {
+  auto m = tiny_model();
+  const auto& params = m->params();
+  ASSERT_EQ(params.size(), 2 + 4 + 2u);
+  EXPECT_EQ(params[0].name, "conv1/W");
+  EXPECT_EQ(params[1].name, "conv1/b");
+  EXPECT_EQ(params[2].name, "bn1/gamma");
+  EXPECT_EQ(params[5].name, "bn1/running_var");
+  EXPECT_EQ(params[6].name, "fc2/W");
+}
+
+TEST(Model, FindParam) {
+  auto m = tiny_model();
+  EXPECT_NE(m->find_param("conv1/W"), nullptr);
+  EXPECT_EQ(m->find_param("conv9/W"), nullptr);
+  EXPECT_EQ(m->find_param("fc2/b")->value->shape(), Shape{3});
+}
+
+TEST(Model, LayerNames) {
+  auto m = tiny_model();
+  EXPECT_EQ(m->layer_names(),
+            (std::vector<std::string>{"conv1", "bn1", "fc2"}));
+  EXPECT_EQ(m->weight_layer_names(),
+            (std::vector<std::string>{"conv1", "fc2"}));
+}
+
+TEST(Model, NumParametersCountsTrainableOnly) {
+  auto m = tiny_model();
+  // conv1: 2*1*3*3 + 2; bn: 2+2 trainable (running stats excluded);
+  // fc2: 32*3 + 3
+  EXPECT_EQ(m->num_parameters(), 18u + 2u + 4u + 96u + 3u);
+}
+
+TEST(Model, InitIsDeterministicPerSeed) {
+  auto a = tiny_model();
+  auto b = tiny_model();
+  a->init(123);
+  b->init(123);
+  EXPECT_EQ(a->find_param("conv1/W")->value->vec(),
+            b->find_param("conv1/W")->value->vec());
+  b->init(124);
+  EXPECT_NE(a->find_param("conv1/W")->value->vec(),
+            b->find_param("conv1/W")->value->vec());
+}
+
+TEST(Model, ForwardShape) {
+  auto m = tiny_model();
+  m->init(7);
+  Tensor x({2, 1, 4, 4});
+  EXPECT_EQ(m->forward(x, false).shape(), (Shape{2, 3}));
+}
+
+TEST(Model, NonFiniteParamDetection) {
+  auto m = tiny_model();
+  m->init(7);
+  EXPECT_FALSE(m->has_non_finite_params());
+  (*m->find_param("fc2/W")->value)[0] = std::nan("");
+  EXPECT_TRUE(m->has_non_finite_params());
+}
+
+TEST(Model, RequiresChwInputShape) {
+  auto net = std::make_unique<Sequential>("net");
+  net->emplace<Dense>("fc1", 4, 2);
+  EXPECT_THROW(Model("bad", Shape{4}, 2, std::move(net)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

@@ -1,0 +1,94 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ckptfi::nn {
+namespace {
+
+struct Param {
+  Tensor value{Shape{2}, 1.0};
+  Tensor grad{Shape{2}, 0.5};
+};
+
+std::vector<ParamRef> refs(Param& p, bool trainable = true) {
+  return {{"w", &p.value, &p.grad, trainable}};
+}
+
+TEST(Sgd, VanillaStep) {
+  Param p;
+  Sgd opt({/*lr=*/0.1, /*momentum=*/0.0, /*weight_decay=*/0.0,
+           /*clip_grad_norm=*/0.0});
+  opt.step(refs(p));
+  EXPECT_DOUBLE_EQ(p.value[0], 1.0 - 0.1 * 0.5);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p;
+  Sgd opt({0.1, 0.9, 0.0, 0.0});
+  opt.step(refs(p));  // v = -0.05, w = 0.95
+  EXPECT_DOUBLE_EQ(p.value[0], 0.95);
+  opt.step(refs(p));  // v = 0.9*-0.05 - 0.05 = -0.095, w = 0.855
+  EXPECT_DOUBLE_EQ(p.value[0], 0.855);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p;
+  p.grad.fill(0.0);
+  Sgd opt({0.1, 0.0, 0.5, 0.0});
+  opt.step(refs(p));
+  EXPECT_DOUBLE_EQ(p.value[0], 1.0 - 0.1 * 0.5 * 1.0);
+}
+
+TEST(Sgd, NonTrainableUntouched) {
+  Param p;
+  Sgd opt({0.1, 0.0, 0.0, 0.0});
+  opt.step(refs(p, /*trainable=*/false));
+  EXPECT_DOUBLE_EQ(p.value[0], 1.0);
+}
+
+TEST(Sgd, ClipScalesLargeGradients) {
+  Param p;
+  p.grad.fill(10.0);  // norm = sqrt(200) ~ 14.14
+  Sgd opt({0.1, 0.0, 0.0, /*clip=*/1.0});
+  opt.step(refs(p));
+  // Clipped gradient: 10 / 14.142 ~ 0.7071
+  EXPECT_NEAR(p.value[0], 1.0 - 0.1 * (10.0 / std::sqrt(200.0)), 1e-12);
+}
+
+TEST(Sgd, ClipLeavesSmallGradientsAlone) {
+  Param p;
+  p.grad.fill(0.1);
+  Sgd opt({0.1, 0.0, 0.0, /*clip=*/5.0});
+  opt.step(refs(p));
+  EXPECT_DOUBLE_EQ(p.value[0], 1.0 - 0.1 * 0.1);
+}
+
+TEST(Sgd, NonFiniteGradNormSkipsClipping) {
+  Param p;
+  p.grad[0] = std::nan("");
+  Sgd opt({0.1, 0.0, 0.0, /*clip=*/1.0});
+  opt.step(refs(p));
+  // NaN propagates into the weight — corrupted runs keep collapsing.
+  EXPECT_TRUE(std::isnan(p.value[0]));
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  Param p;
+  Sgd opt({0.1, 0.9, 0.0, 0.0});
+  opt.step(refs(p));
+  opt.reset();
+  Param q;
+  opt.step(refs(q));  // fresh velocity: same as first-ever step
+  EXPECT_DOUBLE_EQ(q.value[0], 0.95);
+}
+
+TEST(Sgd, SetLr) {
+  Sgd opt({0.1, 0.0, 0.0, 0.0});
+  opt.set_lr(0.5);
+  EXPECT_DOUBLE_EQ(opt.config().lr, 0.5);
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

@@ -1,0 +1,144 @@
+// Resume semantics: the paper's Fig. 3b bump explained as a property.
+//
+// Checkpoints (the paper's and ours) store weights only. Resuming therefore
+// restarts SGD momentum at zero, so a resumed run is NOT bit-identical to
+// the uninterrupted one — unless the optimizer state is also restored, in
+// which case it is. These tests pin down both halves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace ckptfi::nn {
+namespace {
+
+std::unique_ptr<Model> tiny_model(std::uint64_t seed) {
+  auto net = std::make_unique<Sequential>("net");
+  net->emplace<Conv2D>("conv1", 1, 3, 3, 1, 1);
+  net->emplace<ReLU>("relu1");
+  net->emplace<Flatten>("flat");
+  net->emplace<Dense>("fc2", 3 * 4 * 4, 2);
+  auto m = std::make_unique<Model>("tiny", Shape{1, 4, 4}, 2, std::move(net));
+  m->init(seed);
+  return m;
+}
+
+std::vector<Batch> toy_batches(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Batch> out;
+  for (int b = 0; b < 3; ++b) {
+    Batch batch;
+    batch.x = Tensor({8, 1, 4, 4});
+    batch.y.resize(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      batch.y[i] = static_cast<std::uint8_t>(i % 2);
+      for (std::size_t t = 0; t < 16; ++t) {
+        batch.x[i * 16 + t] =
+            rng.normal() + (batch.y[i] ? 0.5 : -0.5);
+      }
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+TrainConfig config() {
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.sgd.lr = 0.05;
+  tc.sgd.momentum = 0.9;  // momentum is the whole point here
+  return tc;
+}
+
+std::vector<double> weights_of(Model& m) {
+  std::vector<double> all;
+  for (const auto& p : m.params())
+    all.insert(all.end(), p.value->vec().begin(), p.value->vec().end());
+  return all;
+}
+
+void copy_weights(Model& from, Model& to) {
+  for (const auto& p : from.params()) {
+    to.find_param(p.name)->value->vec() = p.value->vec();
+  }
+}
+
+TEST(ResumeSemantics, WeightsOnlyResumeDiffersFromUninterrupted) {
+  // Uninterrupted: 4 epochs with one optimizer.
+  auto full = tiny_model(3);
+  Trainer full_trainer(*full, config());
+  for (int e = 0; e < 4; ++e) full_trainer.train_epoch(toy_batches(10 + e));
+
+  // Interrupted: 2 epochs, "checkpoint" weights, resume with a FRESH
+  // optimizer (velocity zero — the paper's semantics).
+  auto part = tiny_model(3);
+  Trainer part_trainer(*part, config());
+  for (int e = 0; e < 2; ++e) part_trainer.train_epoch(toy_batches(10 + e));
+  auto resumed_model = tiny_model(3);
+  copy_weights(*part, *resumed_model);
+  Trainer resumed_trainer(*resumed_model, config());
+  for (int e = 2; e < 4; ++e)
+    resumed_trainer.train_epoch(toy_batches(10 + e));
+
+  EXPECT_NE(weights_of(*full), weights_of(*resumed_model));
+}
+
+TEST(ResumeSemantics, OptimizerStateRestoreMakesResumeExact) {
+  auto full = tiny_model(5);
+  Trainer full_trainer(*full, config());
+  for (int e = 0; e < 4; ++e) full_trainer.train_epoch(toy_batches(20 + e));
+
+  auto part = tiny_model(5);
+  Trainer part_trainer(*part, config());
+  for (int e = 0; e < 2; ++e) part_trainer.train_epoch(toy_batches(20 + e));
+  const auto velocity = part_trainer.optimizer().snapshot_velocity();
+
+  auto resumed_model = tiny_model(5);
+  copy_weights(*part, *resumed_model);
+  Trainer resumed_trainer(*resumed_model, config());
+  resumed_trainer.optimizer().restore_velocity(velocity);
+  for (int e = 2; e < 4; ++e)
+    resumed_trainer.train_epoch(toy_batches(20 + e));
+
+  // Bit-identical: weights + momentum fully determine the trajectory.
+  EXPECT_EQ(weights_of(*full), weights_of(*resumed_model));
+}
+
+TEST(ResumeSemantics, ZeroMomentumMakesWeightsOnlyResumeExact) {
+  // Without momentum there is no hidden optimizer state, so weights-only
+  // checkpoints ARE sufficient for exact resume.
+  TrainConfig tc = config();
+  tc.sgd.momentum = 0.0;
+
+  auto full = tiny_model(7);
+  Trainer full_trainer(*full, tc);
+  for (int e = 0; e < 4; ++e) full_trainer.train_epoch(toy_batches(30 + e));
+
+  auto part = tiny_model(7);
+  Trainer part_trainer(*part, tc);
+  for (int e = 0; e < 2; ++e) part_trainer.train_epoch(toy_batches(30 + e));
+  auto resumed_model = tiny_model(7);
+  copy_weights(*part, *resumed_model);
+  Trainer resumed_trainer(*resumed_model, tc);
+  for (int e = 2; e < 4; ++e)
+    resumed_trainer.train_epoch(toy_batches(30 + e));
+
+  EXPECT_EQ(weights_of(*full), weights_of(*resumed_model));
+}
+
+TEST(ResumeSemantics, SnapshotRoundTrip) {
+  auto m = tiny_model(9);
+  Trainer t(*m, config());
+  t.train_epoch(toy_batches(40));
+  const auto v = t.optimizer().snapshot_velocity();
+  EXPECT_FALSE(v.empty());
+  t.optimizer().reset();
+  t.optimizer().restore_velocity(v);
+  EXPECT_EQ(t.optimizer().snapshot_velocity().size(), v.size());
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

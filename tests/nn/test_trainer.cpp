@@ -1,0 +1,153 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace ckptfi::nn {
+namespace {
+
+std::unique_ptr<Model> tiny_model(std::uint64_t seed) {
+  auto net = std::make_unique<Sequential>("net");
+  net->emplace<Conv2D>("conv1", 1, 4, 3, 1, 1);
+  net->emplace<ReLU>("relu1");
+  net->emplace<MaxPool2D>("pool1", 2, 2);
+  net->emplace<Flatten>("flat");
+  net->emplace<Dense>("fc2", 4 * 2 * 2, 2);
+  auto m = std::make_unique<Model>("tiny", Shape{1, 4, 4}, 2, std::move(net));
+  m->init(seed);
+  return m;
+}
+
+// Two-class separable toy batches: class 0 = bright left half, class 1 =
+// bright right half.
+std::vector<Batch> toy_batches(std::uint64_t seed, std::size_t n_batches = 4,
+                               std::size_t bs = 8) {
+  Rng rng(seed);
+  std::vector<Batch> out;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    Batch batch;
+    batch.x = Tensor({bs, 1, 4, 4});
+    batch.y.resize(bs);
+    for (std::size_t i = 0; i < bs; ++i) {
+      const auto cls = static_cast<std::uint8_t>(i % 2);
+      batch.y[i] = cls;
+      for (std::size_t y = 0; y < 4; ++y) {
+        for (std::size_t x = 0; x < 4; ++x) {
+          const bool bright = cls == 0 ? x < 2 : x >= 2;
+          batch.x[(i * 16) + y * 4 + x] =
+              (bright ? 1.0 : -1.0) + 0.1 * rng.normal();
+        }
+      }
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+TEST(Trainer, LossDecreasesOnSeparableTask) {
+  auto model = tiny_model(1);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.sgd.lr = 0.05;
+  Trainer trainer(*model, cfg);
+  const auto batches = toy_batches(2);
+  auto [loss0, acc0] = trainer.train_epoch(batches);
+  std::pair<double, double> last{loss0, acc0};
+  for (int e = 0; e < 4; ++e) last = trainer.train_epoch(batches);
+  EXPECT_LT(last.first, loss0);
+  EXPECT_GT(last.second, 0.9);
+}
+
+TEST(Trainer, FitReportsPerEpochStats) {
+  auto model = tiny_model(3);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.sgd.lr = 0.05;
+  Trainer trainer(*model, cfg);
+  const auto test = toy_batches(5, 2);
+  std::size_t callbacks = 0;
+  const TrainResult res = trainer.fit(
+      [&](std::size_t epoch) { return toy_batches(10 + epoch); }, test, 4,
+      [&](const EpochStats& s) {
+        EXPECT_EQ(s.epoch, 4 + callbacks);
+        ++callbacks;
+      });
+  EXPECT_EQ(res.epochs.size(), 3u);
+  EXPECT_EQ(callbacks, 3u);
+  EXPECT_FALSE(res.collapsed);
+  EXPECT_DOUBLE_EQ(res.final_accuracy, res.epochs.back().test_accuracy);
+}
+
+TEST(Trainer, DeterministicDoubleRun) {
+  auto run = [] {
+    auto model = tiny_model(11);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.sgd.lr = 0.05;
+    Trainer trainer(*model, cfg);
+    const auto test = toy_batches(5, 2);
+    const TrainResult res = trainer.fit(
+        [&](std::size_t epoch) { return toy_batches(20 + epoch); }, test);
+    std::vector<double> weights = model->find_param("conv1/W")->value->vec();
+    return std::make_pair(res.epochs.back().train_loss, weights);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // bit-identical, not just close
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Trainer, CollapseStopsTrainingAndFlags) {
+  auto model = tiny_model(13);
+  (*model->find_param("conv1/W")->value)[0] = std::nan("");
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  Trainer trainer(*model, cfg);
+  const auto test = toy_batches(5, 2);
+  const TrainResult res = trainer.fit(
+      [&](std::size_t epoch) { return toy_batches(30 + epoch); }, test);
+  EXPECT_TRUE(res.collapsed);
+  EXPECT_EQ(res.epochs.size(), 1u);  // stopped after the first N-EV epoch
+  EXPECT_TRUE(res.epochs[0].nev);
+}
+
+TEST(Trainer, ExtremeWeightCountsAsNev) {
+  auto model = tiny_model(17);
+  (*model->find_param("fc2/W")->value)[0] = 1e305;
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  Trainer trainer(*model, cfg);
+  const auto test = toy_batches(5, 2);
+  const TrainResult res = trainer.fit(
+      [&](std::size_t epoch) { return toy_batches(40 + epoch); }, test);
+  EXPECT_TRUE(res.collapsed);
+}
+
+TEST(Evaluate, MatchesManualAccuracy) {
+  auto model = tiny_model(19);
+  const auto test = toy_batches(7, 2);
+  const double acc = evaluate(*model, test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(EvaluateWithNev, FlagsNaNLogits) {
+  auto model = tiny_model(23);
+  (*model->find_param("fc2/b")->value)[0] = std::nan("");
+  const auto test = toy_batches(7, 2);
+  const EvalResult res = evaluate_with_nev(*model, test);
+  EXPECT_TRUE(res.nev);
+}
+
+TEST(EvaluateWithNev, CleanModelHasNoNev) {
+  auto model = tiny_model(29);
+  const auto test = toy_batches(7, 2);
+  EXPECT_FALSE(evaluate_with_nev(*model, test).nev);
+}
+
+}  // namespace
+}  // namespace ckptfi::nn

@@ -1,0 +1,177 @@
+#include "solver/heat2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/corrupter.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::solver {
+namespace {
+
+PoissonProblem small_problem() {
+  PoissonProblem p;
+  p.n = 16;
+  return p;
+}
+
+TEST(Jacobi, ResidualDecreasesMonotonically) {
+  Jacobi2D solver(small_problem());
+  double prev = solver.residual();
+  for (int i = 0; i < 5; ++i) {
+    solver.step(20);
+    const double r = solver.residual();
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Jacobi, RunUntilConverges) {
+  Jacobi2D solver(small_problem());
+  const double r0 = solver.residual();
+  const std::size_t used = solver.run_until(r0 * 1e-3, 20000);
+  EXPECT_LT(used, 20000u);
+  EXPECT_LE(solver.residual(), r0 * 1e-3);
+  EXPECT_EQ(solver.iteration(), used);
+}
+
+TEST(Cg, ConvergesMuchFasterThanJacobi) {
+  Jacobi2D jacobi(small_problem());
+  ConjugateGradient2D cg(small_problem());
+  const double tol = jacobi.residual() * 1e-6;
+  const std::size_t jac_iters = jacobi.run_until(tol, 50000);
+  const std::size_t cg_iters = cg.run_until(tol, 50000);
+  EXPECT_LT(cg_iters, jac_iters / 5);
+}
+
+TEST(SolversAgree, SameSolutionWithinTolerance) {
+  Jacobi2D jacobi(small_problem());
+  ConjugateGradient2D cg(small_problem());
+  jacobi.run_until(1e-8, 100000);
+  cg.run_until(1e-8, 10000);
+  const auto& uj = jacobi.solution();
+  const auto& uc = cg.solution();
+  double max_diff = 0;
+  for (std::size_t i = 0; i < uj.size(); ++i)
+    max_diff = std::max(max_diff, std::fabs(uj[i] - uc[i]));
+  EXPECT_LT(max_diff, 1e-6);
+}
+
+TEST(Jacobi, CheckpointRoundTripIsExact) {
+  Jacobi2D solver(small_problem());
+  solver.step(137);
+  const mh5::File ckpt = solver.checkpoint();
+  Jacobi2D restored = Jacobi2D::from_checkpoint(ckpt);
+  EXPECT_EQ(restored.iteration(), 137u);
+  EXPECT_EQ(restored.solution(), solver.solution());
+  // Resume equivalence: both paths reach the identical state.
+  solver.step(50);
+  restored.step(50);
+  EXPECT_EQ(restored.solution(), solver.solution());
+}
+
+TEST(Cg, CheckpointRoundTripIsExact) {
+  ConjugateGradient2D solver(small_problem());
+  solver.step(10);
+  const mh5::File ckpt = solver.checkpoint();
+  ConjugateGradient2D restored = ConjugateGradient2D::from_checkpoint(ckpt);
+  EXPECT_EQ(restored.iteration(), 10u);
+  solver.step(5);
+  restored.step(5);
+  EXPECT_EQ(restored.solution(), solver.solution());
+  EXPECT_DOUBLE_EQ(restored.residual(), solver.residual());
+}
+
+TEST(Checkpoint, WrongSolverKindRejected) {
+  Jacobi2D jacobi(small_problem());
+  EXPECT_THROW(ConjugateGradient2D::from_checkpoint(jacobi.checkpoint()),
+               InvalidArgument);
+  ConjugateGradient2D cg(small_problem());
+  EXPECT_THROW(Jacobi2D::from_checkpoint(cg.checkpoint()), InvalidArgument);
+}
+
+TEST(Checkpoint, PrecisionControlsDatasetType) {
+  Jacobi2D solver(small_problem());
+  solver.step(10);
+  EXPECT_EQ(solver.checkpoint(32).dataset("state/u").dtype(),
+            mh5::DType::F32);
+  EXPECT_EQ(solver.checkpoint(64).dataset("state/u").dtype(),
+            mh5::DType::F64);
+}
+
+// The headline solver experiment: Jacobi self-heals after checkpoint
+// corruption (a perturbed iterate is just another starting guess).
+TEST(SdcRecovery, JacobiSelfHealsFromCorruptedCheckpoint) {
+  Jacobi2D solver(small_problem());
+  solver.step(300);
+  mh5::File ckpt = solver.checkpoint();
+
+  core::CorrupterConfig cc;
+  cc.injection_attempts = 20;
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;  // spare the critical bit so values stay finite
+  cc.seed = 5;
+  core::Corrupter(cc).corrupt(ckpt);
+
+  Jacobi2D corrupted = Jacobi2D::from_checkpoint(ckpt);
+  const double tol = 1e-6;
+  const std::size_t extra = corrupted.run_until(tol, 100000);
+  EXPECT_LT(extra, 100000u);  // converges anyway
+  // And to the same fixed point.
+  Jacobi2D clean(small_problem());
+  clean.run_until(tol, 100000);
+  double max_diff = 0;
+  for (std::size_t i = 0; i < clean.solution().size(); ++i)
+    max_diff = std::max(max_diff, std::fabs(clean.solution()[i] -
+                                            corrupted.solution()[i]));
+  EXPECT_LT(max_diff, 1e-4);
+}
+
+// CG's recurrence residual diverges from the true residual after corruption
+// of the iterate x: the r/p recurrence never sees the damage, so CG keeps
+// reporting convergence while the solution is wrong — silent data
+// corruption staying silent.
+TEST(SdcRecovery, CgRecurrenceResidualLiesAfterCorruption) {
+  ConjugateGradient2D solver(small_problem());
+  solver.step(10);
+  mh5::File ckpt = solver.checkpoint();
+
+  core::CorrupterConfig cc;
+  cc.injection_attempts = 5;
+  cc.corruption_mode = core::CorruptionMode::ScalingFactor;
+  cc.scaling_factor = 1e6;
+  cc.use_random_locations = false;
+  cc.locations_to_corrupt = {"state/x"};
+  cc.seed = 7;
+  core::Corrupter(cc).corrupt(ckpt);
+
+  ConjugateGradient2D corrupted = ConjugateGradient2D::from_checkpoint(ckpt);
+  corrupted.step(50);
+  const double internal = corrupted.residual();
+  const double truth = corrupted.true_residual();
+  // Internal signal keeps converging; the recomputed truth stays wrecked.
+  EXPECT_LT(internal, 1e-3);
+  EXPECT_GT(truth, 1e3 * std::max(internal, 1e-30));
+}
+
+TEST(Forcing, DeterministicAndFinite) {
+  const PoissonProblem p = small_problem();
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t j = 0; j < p.n; ++j) {
+      EXPECT_TRUE(std::isfinite(p.forcing(i, j)));
+      EXPECT_DOUBLE_EQ(p.forcing(i, j), p.forcing(i, j));
+    }
+  }
+}
+
+TEST(Problem, ValidatesSize) {
+  PoissonProblem p;
+  p.n = 1;
+  EXPECT_THROW(Jacobi2D{p}, InvalidArgument);
+  EXPECT_THROW(ConjugateGradient2D{p}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckptfi::solver

@@ -1,0 +1,69 @@
+#include "tensor/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/float16.hpp"
+
+namespace ckptfi {
+namespace {
+
+TEST(Quantize, F64IsIdentity) {
+  EXPECT_DOUBLE_EQ(quantize_value(0.1, 64), 0.1);
+  EXPECT_DOUBLE_EQ(quantize_value(1e300, 64), 1e300);
+}
+
+TEST(Quantize, F32RoundsToFloat) {
+  const double v = 0.1;
+  EXPECT_DOUBLE_EQ(quantize_value(v, 32), static_cast<double>(0.1f));
+  EXPECT_NE(quantize_value(v, 32), v);
+}
+
+TEST(Quantize, F16CoarserThanF32) {
+  const double v = 1.001;
+  const double q32 = quantize_value(v, 32);
+  const double q16 = quantize_value(v, 16);
+  EXPECT_LE(std::fabs(q32 - v), std::fabs(q16 - v));
+  EXPECT_NEAR(q16, v, 1e-3);
+}
+
+TEST(Quantize, F16OverflowsToInf) {
+  EXPECT_TRUE(std::isinf(quantize_value(1e6, 16)));
+  EXPECT_FALSE(std::isinf(quantize_value(65504.0, 16)));
+}
+
+TEST(Quantize, F32OverflowsToInf) {
+  EXPECT_TRUE(std::isinf(quantize_value(1e39, 32)));
+  EXPECT_FALSE(std::isinf(quantize_value(1e38, 32)));
+}
+
+TEST(Quantize, Idempotent) {
+  for (int bits : {16, 32, 64}) {
+    const double q = quantize_value(0.3333333333, bits);
+    EXPECT_DOUBLE_EQ(quantize_value(q, bits), q) << bits;
+  }
+}
+
+TEST(Quantize, TensorInPlace) {
+  Tensor t({3});
+  t[0] = 0.1;
+  t[1] = 1e6;
+  t[2] = -2.0;
+  quantize_tensor(t, 16);
+  EXPECT_DOUBLE_EQ(t[0], static_cast<double>(f16::from_float(0.1f).to_float()));
+  EXPECT_TRUE(std::isinf(t[1]));
+  EXPECT_DOUBLE_EQ(t[2], -2.0);
+}
+
+TEST(Quantize, TensorF64Untouched) {
+  Tensor t({2});
+  t[0] = 0.1;
+  t[1] = 1e300;
+  quantize_tensor(t, 64);
+  EXPECT_DOUBLE_EQ(t[0], 0.1);
+  EXPECT_DOUBLE_EQ(t[1], 1e300);
+}
+
+}  // namespace
+}  // namespace ckptfi

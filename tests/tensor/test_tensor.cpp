@@ -1,0 +1,81 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3}, 1.5);
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_DOUBLE_EQ(t[i], 1.5);
+  t.fill(0.0);
+  EXPECT_DOUBLE_EQ(t[5], 0.0);
+}
+
+TEST(Tensor, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2,3]");
+}
+
+TEST(Tensor, From) {
+  const Tensor t = Tensor::from({1, 2, 3});
+  EXPECT_EQ(t.shape(), Shape{3});
+  EXPECT_DOUBLE_EQ(t.at(1), 2.0);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(t[5], 9.0);
+  Tensor q({2, 2, 2, 2});
+  q.at(1, 1, 1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(q[15], 4.0);
+  EXPECT_THROW(t.at(2, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0), InvalidArgument);  // wrong rank
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t[7] = 3.0;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_DOUBLE_EQ(r[7], 3.0);
+  EXPECT_THROW(t.reshaped({5, 5}), InvalidArgument);
+}
+
+TEST(Tensor, NonFiniteDetection) {
+  Tensor t({3});
+  EXPECT_FALSE(t.has_non_finite());
+  t[1] = std::nan("");
+  EXPECT_TRUE(t.has_non_finite());
+  t[1] = INFINITY;
+  EXPECT_TRUE(t.has_non_finite());
+  t[1] = 1e308;
+  EXPECT_FALSE(t.has_non_finite());
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a({3}, 1.0), b({3}, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a[2], 1.5);
+  Tensor c({4});
+  EXPECT_THROW(a += c, InvalidArgument);
+}
+
+TEST(Tensor, DimChecked) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_THROW(t.dim(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckptfi

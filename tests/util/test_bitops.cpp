@@ -1,0 +1,131 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+namespace {
+
+TEST(FloatLayout, FieldWidths) {
+  const FloatLayout l16 = float_layout(16);
+  EXPECT_EQ(l16.mantissa_bits, 10);
+  EXPECT_EQ(l16.exponent_bits, 5);
+  EXPECT_EQ(l16.sign_bit(), 15);
+  EXPECT_EQ(l16.exponent_msb(), 14);
+  EXPECT_EQ(l16.exponent_lsb(), 10);
+
+  const FloatLayout l32 = float_layout(32);
+  EXPECT_EQ(l32.mantissa_bits, 23);
+  EXPECT_EQ(l32.exponent_bits, 8);
+  EXPECT_EQ(l32.exponent_msb(), 30);
+
+  const FloatLayout l64 = float_layout(64);
+  EXPECT_EQ(l64.mantissa_bits, 52);
+  EXPECT_EQ(l64.exponent_bits, 11);
+  EXPECT_EQ(l64.sign_bit(), 63);
+  EXPECT_EQ(l64.exponent_msb(), 62);
+  EXPECT_EQ(l64.exponent_lsb(), 52);
+}
+
+TEST(FloatLayout, RejectsUnsupportedWidths) {
+  EXPECT_THROW(float_layout(8), InvalidArgument);
+  EXPECT_THROW(float_layout(80), InvalidArgument);
+}
+
+TEST(Bitops, FlipBitIsInvolution) {
+  const std::uint64_t v = 0xdeadbeefcafebabeull;
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NE(flip_bit(v, b), v);
+    EXPECT_EQ(flip_bit(flip_bit(v, b), b), v);
+  }
+}
+
+TEST(Bitops, ApplyMaskXors) {
+  EXPECT_EQ(apply_mask(0b0000, 0b101, 0), 0b0101u);
+  EXPECT_EQ(apply_mask(0b0000, 0b101, 1), 0b1010u);
+  EXPECT_EQ(apply_mask(0b1111, 0b101, 0), 0b1010u);
+}
+
+TEST(Bitops, BinaryStringRoundTrip) {
+  EXPECT_EQ(to_binary_string(0b101101, 6), "101101");
+  EXPECT_EQ(parse_binary_string("101101"), 0b101101u);
+  EXPECT_EQ(parse_binary_string(to_binary_string(0x1234abcdull, 64)),
+            0x1234abcdull);
+}
+
+TEST(Bitops, BinaryStringErrors) {
+  EXPECT_THROW(parse_binary_string(""), FormatError);
+  EXPECT_THROW(parse_binary_string("10201"), FormatError);
+  EXPECT_THROW(parse_binary_string(std::string(65, '1')), FormatError);
+  EXPECT_THROW(to_binary_string(1, 0), InvalidArgument);
+}
+
+TEST(Bitops, NevClassification) {
+  EXPECT_FALSE(is_nev(0.0));
+  EXPECT_FALSE(is_nev(1e29));
+  EXPECT_TRUE(is_nev(1e31));
+  EXPECT_TRUE(is_nev(-1e31));
+  EXPECT_TRUE(is_nev(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_TRUE(is_nev(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(is_nan_or_inf(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(is_nan_or_inf(1e300));
+}
+
+// The paper's flagship example (Section V-B): flipping the exponent MSB of
+// 0.25 in fp64 yields ~4.49e307.
+TEST(Bitops, PaperExponentMsbExample) {
+  const std::uint64_t repr = encode_float(0.25, 64);
+  const std::uint64_t flipped = flip_bit(repr, float_layout(64).exponent_msb());
+  const double v = decode_float(flipped, 64);
+  EXPECT_NEAR(v / 4.49423283715579e+307, 1.0, 1e-12);
+}
+
+class EncodeDecodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeTest, RoundTripsRepresentableValues) {
+  const int bits = GetParam();
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 2.0, 1024.0, -0.125}) {
+    EXPECT_EQ(decode_float(encode_float(v, bits), bits), v)
+        << "bits=" << bits << " v=" << v;
+  }
+}
+
+TEST_P(EncodeDecodeTest, SignBitFlipNegates) {
+  const int bits = GetParam();
+  const FloatLayout layout = float_layout(bits);
+  const std::uint64_t repr = encode_float(1.5, bits);
+  EXPECT_EQ(decode_float(flip_bit(repr, layout.sign_bit()), bits), -1.5);
+}
+
+TEST_P(EncodeDecodeTest, MantissaLsbFlipIsTiny) {
+  const int bits = GetParam();
+  const std::uint64_t repr = encode_float(1.0, bits);
+  const double v = decode_float(flip_bit(repr, 0), bits);
+  EXPECT_NE(v, 1.0);
+  EXPECT_NEAR(v, 1.0, 1e-2);
+}
+
+TEST_P(EncodeDecodeTest, ExponentMsbFlipIsHuge) {
+  const int bits = GetParam();
+  const FloatLayout layout = float_layout(bits);
+  const std::uint64_t repr = encode_float(0.5, bits);
+  const double v = decode_float(flip_bit(repr, layout.exponent_msb()), bits);
+  // Flipping the exponent MSB of a sub-1.0 value lands near the format's max
+  // magnitude — the paper's "critical bit".
+  EXPECT_GT(std::fabs(v), bits == 16 ? 1e3 : (bits == 32 ? 1e30 : 1e300));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, EncodeDecodeTest,
+                         ::testing::Values(16, 32, 64));
+
+TEST(Bitops, EncodeRejectsBadWidth) {
+  EXPECT_THROW(encode_float(1.0, 8), InvalidArgument);
+  EXPECT_THROW(decode_float(0, 128), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ckptfi

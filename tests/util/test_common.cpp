@@ -1,0 +1,33 @@
+#include "util/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckptfi {
+namespace {
+
+TEST(Errors, HierarchyCatchableAsBase) {
+  EXPECT_THROW(throw FormatError("f"), Error);
+  EXPECT_THROW(throw InvalidArgument("i"), Error);
+  EXPECT_THROW(throw Error("e"), std::runtime_error);
+}
+
+TEST(Errors, MessagePreserved) {
+  try {
+    throw FormatError("bad header at byte 12");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad header at byte 12");
+  }
+}
+
+TEST(Require, ThrowsOnlyWhenFalse) {
+  EXPECT_NO_THROW(require(true, "unused"));
+  EXPECT_THROW(require(false, "boom"), InvalidArgument);
+  try {
+    require(false, "exact message");
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "exact message");
+  }
+}
+
+}  // namespace
+}  // namespace ckptfi

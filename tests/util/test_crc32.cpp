@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ckptfi {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  const std::string s1 = "123456789";
+  EXPECT_EQ(crc32(s1.data(), s1.size()), 0xcbf43926u);
+  const std::string s2 = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(s2.data(), s2.size()), 0x414fa339u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string s = "hello, incremental world";
+  const auto full = crc32(s.data(), s.size());
+  auto partial = crc32(s.data(), 5);
+  partial = crc32(s.data() + 5, s.size() - 5, partial);
+  EXPECT_EQ(partial, full);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::string s = "checkpoint-bytes";
+  const auto before = crc32(s.data(), s.size());
+  s[4] = static_cast<char>(s[4] ^ 0x10);
+  EXPECT_NE(crc32(s.data(), s.size()), before);
+}
+
+}  // namespace
+}  // namespace ckptfi

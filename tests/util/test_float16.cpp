@@ -1,0 +1,85 @@
+#include "util/float16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ckptfi {
+namespace {
+
+TEST(Float16, KnownEncodings) {
+  EXPECT_EQ(f16::from_float(0.0f).bits, 0x0000u);
+  EXPECT_EQ(f16::from_float(-0.0f).bits, 0x8000u);
+  EXPECT_EQ(f16::from_float(1.0f).bits, 0x3c00u);
+  EXPECT_EQ(f16::from_float(-2.0f).bits, 0xc000u);
+  EXPECT_EQ(f16::from_float(65504.0f).bits, 0x7bffu);  // max finite
+  EXPECT_EQ(f16::from_float(0.5f).bits, 0x3800u);
+}
+
+TEST(Float16, KnownDecodings) {
+  EXPECT_EQ(f16::from_bits(0x3c00u).to_float(), 1.0f);
+  EXPECT_EQ(f16::from_bits(0xc000u).to_float(), -2.0f);
+  EXPECT_EQ(f16::from_bits(0x7bffu).to_float(), 65504.0f);
+  EXPECT_EQ(f16::from_bits(0x0001u).to_float(), 5.960464477539063e-08f);
+  EXPECT_EQ(f16::from_bits(0x0400u).to_float(), 6.103515625e-05f);
+}
+
+TEST(Float16, Specials) {
+  EXPECT_TRUE(f16::from_float(std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(
+      f16::from_float(-std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(
+      f16::from_float(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(std::isinf(f16::from_bits(0x7c00u).to_float()));
+  EXPECT_TRUE(std::isnan(f16::from_bits(0x7c01u).to_float()));
+}
+
+TEST(Float16, OverflowSaturatesToInfinity) {
+  EXPECT_TRUE(f16::from_float(65536.0f).is_inf());
+  EXPECT_TRUE(f16::from_float(1e30f).is_inf());
+  EXPECT_FALSE(f16::from_float(65504.0f).is_inf());
+}
+
+TEST(Float16, UnderflowToZero) {
+  EXPECT_EQ(f16::from_float(1e-10f).bits, 0x0000u);
+  EXPECT_EQ(f16::from_float(-1e-10f).bits, 0x8000u);
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // it must round to even (1.0).
+  EXPECT_EQ(f16::from_float(1.0f + 0x1.0p-11f).bits, 0x3c00u);
+  // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+  EXPECT_EQ(f16::from_float(1.0f + 3 * 0x1.0p-11f).bits, 0x3c02u);
+}
+
+// Every one of the 63488 finite half values must round-trip exactly
+// through float.
+TEST(Float16, ExhaustiveRoundTrip) {
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const f16 h = f16::from_bits(static_cast<std::uint16_t>(b));
+    const float v = h.to_float();
+    if (h.is_nan()) {
+      EXPECT_TRUE(std::isnan(v)) << "bits=" << b;
+      EXPECT_TRUE(f16::from_float(v).is_nan());
+      continue;
+    }
+    const f16 back = f16::from_float(v);
+    EXPECT_EQ(back.bits, h.bits) << "bits=" << b << " v=" << v;
+  }
+}
+
+// Conversion must agree in magnitude ordering: larger halves decode larger.
+TEST(Float16, MonotonicOnPositives) {
+  float prev = f16::from_bits(0).to_float();
+  for (std::uint16_t b = 1; b < 0x7c00u; ++b) {
+    const float v = f16::from_bits(b).to_float();
+    EXPECT_GT(v, prev) << "bits=" << b;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace ckptfi

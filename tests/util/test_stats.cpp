@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), InvalidArgument);
+  EXPECT_THROW(min_of(empty), InvalidArgument);
+  EXPECT_THROW(quantile(empty, 0.5), InvalidArgument);
+  EXPECT_THROW(boxplot_stats(empty), InvalidArgument);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileRangeChecked) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(v, 1.1), InvalidArgument);
+}
+
+TEST(Stats, BoxplotNoOutliers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 11; ++i) v.push_back(i);
+  const BoxplotStats b = boxplot_stats(v);
+  EXPECT_DOUBLE_EQ(b.median, 6.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.5);
+  EXPECT_DOUBLE_EQ(b.q3, 8.5);
+  EXPECT_EQ(b.n_outliers, 0u);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 11.0);
+}
+
+TEST(Stats, BoxplotFlagsOutliers) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  const BoxplotStats b = boxplot_stats(v);
+  EXPECT_EQ(b.n_outliers, 1u);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 9.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+}
+
+TEST(Stats, BoxplotSingleValue) {
+  const BoxplotStats b = boxplot_stats({5.0});
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 5.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 5.0);
+  EXPECT_EQ(b.n, 1u);
+}
+
+}  // namespace
+}  // namespace ckptfi

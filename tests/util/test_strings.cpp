@@ -1,0 +1,50 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckptfi {
+namespace {
+
+TEST(Strings, SplitPathDropsEmptySegments) {
+  EXPECT_EQ(split_path("/a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_path("a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_path("").empty());
+  EXPECT_TRUE(split_path("///").empty());
+}
+
+TEST(Strings, JoinPath) {
+  EXPECT_EQ(join_path({"a", "b", "c"}), "a/b/c");
+  EXPECT_EQ(join_path({}), "");
+  EXPECT_EQ(join_path({"only"}), "only");
+}
+
+TEST(Strings, NormalizePath) {
+  EXPECT_EQ(normalize_path("/a//b/"), "a/b");
+  EXPECT_EQ(normalize_path("a/b"), "a/b");
+  EXPECT_EQ(normalize_path(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("model_weights/conv1", "model_weights"));
+  EXPECT_FALSE(starts_with("model", "model_weights"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, PathHasPrefixSegmentAware) {
+  EXPECT_TRUE(path_has_prefix("a/b/c", "a/b"));
+  EXPECT_TRUE(path_has_prefix("a/b", "a/b"));
+  EXPECT_TRUE(path_has_prefix("/a/b/", "a"));
+  EXPECT_FALSE(path_has_prefix("a/bc", "a/b"));
+  EXPECT_FALSE(path_has_prefix("a", "a/b"));
+  EXPECT_TRUE(path_has_prefix("anything/at/all", ""));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(48.75, 1), "48.8");
+  EXPECT_EQ(format_fixed(0.4, 1), "0.4");
+  EXPECT_EQ(format_fixed(99.6, 0), "100");
+  EXPECT_EQ(format_fixed(-1.005, 2), "-1.00");  // printf rounding of stored double
+}
+
+}  // namespace
+}  // namespace ckptfi

@@ -1,0 +1,101 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ckptfi {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ChunkBoundariesAreDeterministic) {
+  ThreadPool pool(4);
+  auto collect = [&] {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(103, [&](std::size_t b, std::size_t e) {
+      std::lock_guard lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> v(10000);
+  std::iota(v.begin(), v.end(), 1.0);
+  std::vector<double> partial(4, 0.0);
+  // Deterministic ordered reduction: fixed chunking, per-chunk accumulators
+  // combined in index order.
+  const std::size_t chunk = (v.size() + 3) / 4;
+  pool.parallel_for(v.size(), [&](std::size_t b, std::size_t e) {
+    double s = 0;
+    for (std::size_t i = b; i < e; ++i) s += v[i];
+    partial[b / chunk] += s;
+  });
+  double total = 0;
+  for (double p : partial) total += p;
+  EXPECT_DOUBLE_EQ(total, 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(ParallelForHelper, SmallRangesRunInline) {
+  int calls = 0;
+  parallel_for(10, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForHelper, LargeRangeCovered) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(5000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace ckptfi
