@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_solver_sdc.dir/bench_ext_solver_sdc.cpp.o"
+  "CMakeFiles/bench_ext_solver_sdc.dir/bench_ext_solver_sdc.cpp.o.d"
+  "bench_ext_solver_sdc"
+  "bench_ext_solver_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_solver_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_injector.cpp" "bench/CMakeFiles/bench_micro_injector.dir/bench_micro_injector.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_injector.dir/bench_micro_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckptfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/ckptfi_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ckptfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ckptfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckptfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ckptfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5/CMakeFiles/ckptfi_mh5.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckptfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_injector.dir/bench_micro_injector.cpp.o"
+  "CMakeFiles/bench_micro_injector.dir/bench_micro_injector.cpp.o.d"
+  "bench_micro_injector"
+  "bench_micro_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mh5.dir/bench_micro_mh5.cpp.o"
+  "CMakeFiles/bench_micro_mh5.dir/bench_micro_mh5.cpp.o.d"
+  "bench_micro_mh5"
+  "bench_micro_mh5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mh5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_nev_incidence.dir/bench_table4_nev_incidence.cpp.o"
+  "CMakeFiles/bench_table4_nev_incidence.dir/bench_table4_nev_incidence.cpp.o.d"
+  "bench_table4_nev_incidence"
+  "bench_table4_nev_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_nev_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_single_bitflip.dir/bench_table5_single_bitflip.cpp.o"
+  "CMakeFiles/bench_table5_single_bitflip.dir/bench_table5_single_bitflip.cpp.o.d"
+  "bench_table5_single_bitflip"
+  "bench_table5_single_bitflip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_single_bitflip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_framework_replay.dir/cross_framework_replay.cpp.o"
+  "CMakeFiles/cross_framework_replay.dir/cross_framework_replay.cpp.o.d"
+  "cross_framework_replay"
+  "cross_framework_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_framework_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

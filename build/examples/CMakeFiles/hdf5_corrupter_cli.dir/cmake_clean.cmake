@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5_corrupter_cli.dir/hdf5_corrupter_cli.cpp.o"
+  "CMakeFiles/hdf5_corrupter_cli.dir/hdf5_corrupter_cli.cpp.o.d"
+  "hdf5_corrupter_cli"
+  "hdf5_corrupter_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5_corrupter_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_sensitivity.dir/layer_sensitivity.cpp.o"
+  "CMakeFiles/layer_sensitivity.dir/layer_sensitivity.cpp.o.d"
+  "layer_sensitivity"
+  "layer_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

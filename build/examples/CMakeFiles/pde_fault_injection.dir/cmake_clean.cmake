@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_fault_injection.dir/pde_fault_injection.cpp.o"
+  "CMakeFiles/pde_fault_injection.dir/pde_fault_injection.cpp.o.d"
+  "pde_fault_injection"
+  "pde_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

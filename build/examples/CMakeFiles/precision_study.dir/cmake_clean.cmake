@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_study.dir/precision_study.cpp.o"
+  "CMakeFiles/precision_study.dir/precision_study.cpp.o.d"
+  "precision_study"
+  "precision_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

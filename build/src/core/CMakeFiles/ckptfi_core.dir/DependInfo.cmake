@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corrupter.cpp" "src/core/CMakeFiles/ckptfi_core.dir/corrupter.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/corrupter.cpp.o.d"
+  "/root/repo/src/core/corrupter_config.cpp" "src/core/CMakeFiles/ckptfi_core.dir/corrupter_config.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/corrupter_config.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/ckptfi_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/equivalent.cpp" "src/core/CMakeFiles/ckptfi_core.dir/equivalent.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/equivalent.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/ckptfi_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/injection_log.cpp" "src/core/CMakeFiles/ckptfi_core.dir/injection_log.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/injection_log.cpp.o.d"
+  "/root/repo/src/core/nev.cpp" "src/core/CMakeFiles/ckptfi_core.dir/nev.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/nev.cpp.o.d"
+  "/root/repo/src/core/protection.cpp" "src/core/CMakeFiles/ckptfi_core.dir/protection.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/protection.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ckptfi_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ckptfi_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frameworks/CMakeFiles/ckptfi_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ckptfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ckptfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckptfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5/CMakeFiles/ckptfi_mh5.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckptfi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ckptfi_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_core.dir/corrupter.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/corrupter.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/corrupter_config.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/corrupter_config.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/diff.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/diff.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/equivalent.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/equivalent.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/experiment.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/injection_log.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/injection_log.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/nev.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/nev.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/protection.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/protection.cpp.o.d"
+  "CMakeFiles/ckptfi_core.dir/report.cpp.o"
+  "CMakeFiles/ckptfi_core.dir/report.cpp.o.d"
+  "libckptfi_core.a"
+  "libckptfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_data.dir/synthetic_cifar.cpp.o"
+  "CMakeFiles/ckptfi_data.dir/synthetic_cifar.cpp.o.d"
+  "libckptfi_data.a"
+  "libckptfi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libckptfi_data.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_frameworks.dir/framework.cpp.o"
+  "CMakeFiles/ckptfi_frameworks.dir/framework.cpp.o.d"
+  "libckptfi_frameworks.a"
+  "libckptfi_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

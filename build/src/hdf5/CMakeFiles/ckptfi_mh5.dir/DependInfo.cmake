@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdf5/dtype.cpp" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/dtype.cpp.o" "gcc" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/dtype.cpp.o.d"
+  "/root/repo/src/hdf5/file.cpp" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/file.cpp.o" "gcc" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/file.cpp.o.d"
+  "/root/repo/src/hdf5/node.cpp" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/node.cpp.o" "gcc" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/node.cpp.o.d"
+  "/root/repo/src/hdf5/npz.cpp" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/npz.cpp.o" "gcc" "src/hdf5/CMakeFiles/ckptfi_mh5.dir/npz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckptfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_mh5.dir/dtype.cpp.o"
+  "CMakeFiles/ckptfi_mh5.dir/dtype.cpp.o.d"
+  "CMakeFiles/ckptfi_mh5.dir/file.cpp.o"
+  "CMakeFiles/ckptfi_mh5.dir/file.cpp.o.d"
+  "CMakeFiles/ckptfi_mh5.dir/node.cpp.o"
+  "CMakeFiles/ckptfi_mh5.dir/node.cpp.o.d"
+  "CMakeFiles/ckptfi_mh5.dir/npz.cpp.o"
+  "CMakeFiles/ckptfi_mh5.dir/npz.cpp.o.d"
+  "libckptfi_mh5.a"
+  "libckptfi_mh5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_mh5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

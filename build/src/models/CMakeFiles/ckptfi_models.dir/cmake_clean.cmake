@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_models.dir/models.cpp.o"
+  "CMakeFiles/ckptfi_models.dir/models.cpp.o.d"
+  "libckptfi_models.a"
+  "libckptfi_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

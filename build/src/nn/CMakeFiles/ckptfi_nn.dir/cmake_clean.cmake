@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_nn.dir/layers.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/loss.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/model.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/model.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/parallel.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/parallel.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/sequential.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/ckptfi_nn.dir/trainer.cpp.o"
+  "CMakeFiles/ckptfi_nn.dir/trainer.cpp.o.d"
+  "libckptfi_nn.a"
+  "libckptfi_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_solver.dir/heat2d.cpp.o"
+  "CMakeFiles/ckptfi_solver.dir/heat2d.cpp.o.d"
+  "libckptfi_solver.a"
+  "libckptfi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

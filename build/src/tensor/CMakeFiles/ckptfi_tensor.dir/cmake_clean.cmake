@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_tensor.dir/ops.cpp.o"
+  "CMakeFiles/ckptfi_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/ckptfi_tensor.dir/quantize.cpp.o"
+  "CMakeFiles/ckptfi_tensor.dir/quantize.cpp.o.d"
+  "CMakeFiles/ckptfi_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ckptfi_tensor.dir/tensor.cpp.o.d"
+  "libckptfi_tensor.a"
+  "libckptfi_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitops.cpp" "src/util/CMakeFiles/ckptfi_util.dir/bitops.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/bitops.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/ckptfi_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/float16.cpp" "src/util/CMakeFiles/ckptfi_util.dir/float16.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/float16.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/ckptfi_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/ckptfi_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/ckptfi_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/ckptfi_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/util/CMakeFiles/ckptfi_util.dir/threadpool.cpp.o" "gcc" "src/util/CMakeFiles/ckptfi_util.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckptfi_util.dir/bitops.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/bitops.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/crc32.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/float16.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/float16.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/json.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/json.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/rng.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/stats.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/strings.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ckptfi_util.dir/threadpool.cpp.o"
+  "CMakeFiles/ckptfi_util.dir/threadpool.cpp.o.d"
+  "libckptfi_util.a"
+  "libckptfi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckptfi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

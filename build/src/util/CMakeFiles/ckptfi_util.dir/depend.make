@@ -1,0 +1,2 @@
+# Empty dependencies file for ckptfi_util.
+# This may be replaced when dependencies are built.

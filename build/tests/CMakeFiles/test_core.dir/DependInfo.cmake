@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_canonical_mapping.cpp" "tests/CMakeFiles/test_core.dir/core/test_canonical_mapping.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_canonical_mapping.cpp.o.d"
+  "/root/repo/tests/core/test_corrupter.cpp" "tests/CMakeFiles/test_core.dir/core/test_corrupter.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_corrupter.cpp.o.d"
+  "/root/repo/tests/core/test_corrupter_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_corrupter_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_corrupter_config.cpp.o.d"
+  "/root/repo/tests/core/test_corrupter_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_corrupter_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_corrupter_properties.cpp.o.d"
+  "/root/repo/tests/core/test_diff.cpp" "tests/CMakeFiles/test_core.dir/core/test_diff.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_diff.cpp.o.d"
+  "/root/repo/tests/core/test_equivalent.cpp" "tests/CMakeFiles/test_core.dir/core/test_equivalent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_equivalent.cpp.o.d"
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_injection_log.cpp" "tests/CMakeFiles/test_core.dir/core/test_injection_log.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_injection_log.cpp.o.d"
+  "/root/repo/tests/core/test_nev.cpp" "tests/CMakeFiles/test_core.dir/core/test_nev.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_nev.cpp.o.d"
+  "/root/repo/tests/core/test_protection.cpp" "tests/CMakeFiles/test_core.dir/core/test_protection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_protection.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckptfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/ckptfi_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ckptfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ckptfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckptfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ckptfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5/CMakeFiles/ckptfi_mh5.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckptfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_canonical_mapping.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_canonical_mapping.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_corrupter.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_corrupter.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_corrupter_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_corrupter_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_corrupter_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_corrupter_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_diff.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_diff.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_equivalent.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_equivalent.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_injection_log.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_injection_log.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_nev.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_nev.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_protection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_protection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

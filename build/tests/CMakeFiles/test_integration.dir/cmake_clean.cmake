@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_guarded_resume.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_guarded_resume.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_learning.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_learning.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_npz_pipeline.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_npz_pipeline.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mh5.dir/hdf5/test_dtype.cpp.o"
+  "CMakeFiles/test_mh5.dir/hdf5/test_dtype.cpp.o.d"
+  "CMakeFiles/test_mh5.dir/hdf5/test_file.cpp.o"
+  "CMakeFiles/test_mh5.dir/hdf5/test_file.cpp.o.d"
+  "CMakeFiles/test_mh5.dir/hdf5/test_node.cpp.o"
+  "CMakeFiles/test_mh5.dir/hdf5/test_node.cpp.o.d"
+  "CMakeFiles/test_mh5.dir/hdf5/test_npz.cpp.o"
+  "CMakeFiles/test_mh5.dir/hdf5/test_npz.cpp.o.d"
+  "test_mh5"
+  "test_mh5.pdb"
+  "test_mh5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mh5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

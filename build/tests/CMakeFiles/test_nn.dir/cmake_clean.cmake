@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_gradcheck.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_parallel.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_parallel.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_resume_semantics.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_resume_semantics.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_sequential.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_trainer.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bitops.cpp" "tests/CMakeFiles/test_util.dir/util/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_bitops.cpp.o.d"
+  "/root/repo/tests/util/test_common.cpp" "tests/CMakeFiles/test_util.dir/util/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_common.cpp.o.d"
+  "/root/repo/tests/util/test_crc32.cpp" "tests/CMakeFiles/test_util.dir/util/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_crc32.cpp.o.d"
+  "/root/repo/tests/util/test_float16.cpp" "tests/CMakeFiles/test_util.dir/util/test_float16.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_float16.cpp.o.d"
+  "/root/repo/tests/util/test_json.cpp" "tests/CMakeFiles/test_util.dir/util/test_json.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_threadpool.cpp" "tests/CMakeFiles/test_util.dir/util/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckptfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/ckptfi_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ckptfi_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ckptfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ckptfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ckptfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdf5/CMakeFiles/ckptfi_mh5.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckptfi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
