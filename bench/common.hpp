@@ -13,14 +13,20 @@
 //   --restart-epoch=N  checkpointed epoch that gets corrupted (paper: 20)
 //   --resume-epochs=N  epochs trained after the corrupted restart
 //   --seed=N           master seed
+//   --json-out=PATH    enable the obs metrics registry and write its snapshot
+//                      as JSON to PATH when the bench exits
+//   --trace-out=PATH   enable span tracing and write Chrome trace JSON to
+//                      PATH when the bench exits (open in chrome://tracing)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/obs.hpp"
 
 namespace ckptfi::bench {
 
@@ -33,6 +39,8 @@ struct BenchOptions {
   std::size_t restart_epoch = 2;
   std::size_t resume_epochs = 1;
   std::uint64_t seed = 42;
+  std::string json_out;   ///< metrics snapshot destination ("" = don't emit)
+  std::string trace_out;  ///< Chrome trace destination ("" = don't record)
 
   /// Parse --key=value args over `defaults`; unknown keys abort with a
   /// usage message. Benches whose story needs a genuinely trained baseline
@@ -42,6 +50,36 @@ struct BenchOptions {
     return parse(argc, argv, BenchOptions{});
   }
 };
+
+/// Every bench funnels through parse(), so hooking the metrics/trace dump
+/// here wires observability into all of them at once: when --json-out or
+/// --trace-out is given, the matching obs facility is enabled and an atexit
+/// handler writes the file after the bench's tables have printed.
+namespace detail {
+inline std::string g_json_out;   // set once in parse, read at exit
+inline std::string g_trace_out;
+
+inline void write_obs_outputs() {
+  if (!g_json_out.empty()) {
+    std::ofstream out(g_json_out, std::ios::trunc);
+    if (out) {
+      out << obs::Registry::global().to_json().dump(2) << "\n";
+    } else {
+      std::fprintf(stderr, "bench: cannot write metrics to '%s'\n",
+                   g_json_out.c_str());
+    }
+  }
+  if (!g_trace_out.empty()) {
+    // save() throws on an unwritable path; an exception escaping an atexit
+    // handler would terminate(), so report and carry on instead.
+    try {
+      obs::TraceRecorder::global().save(g_trace_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
+    }
+  }
+}
+}  // namespace detail
 
 inline BenchOptions BenchOptions::parse(int argc, char** argv,
                                         BenchOptions defaults) {
@@ -54,6 +92,24 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       std::exit(2);
     }
     const std::string key = arg.substr(2, eq - 2);
+    if (key == "json-out" || key == "trace-out") {
+      const std::string path = arg.substr(eq + 1);
+      if (key == "json-out") {
+        o.json_out = path;
+        detail::g_json_out = path;
+        obs::set_metrics_enabled(true);
+      } else {
+        o.trace_out = path;
+        detail::g_trace_out = path;
+        obs::set_tracing_enabled(true);
+      }
+      static bool registered = false;
+      if (!registered) {
+        registered = true;
+        std::atexit(detail::write_obs_outputs);
+      }
+      continue;
+    }
     const auto val = static_cast<std::size_t>(std::stoull(arg.substr(eq + 1)));
     if (key == "trainings") {
       o.trainings = val;

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build + ctest, exactly as ROADMAP.md specifies.
+# Usage: scripts/check_build.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 #include "util/strings.hpp"
@@ -70,6 +71,12 @@ std::uint64_t Corrupter::resolve_attempts(const mh5::File& file) const {
 }
 
 InjectionReport Corrupter::corrupt(mh5::File& file, const ModelContext* ctx) {
+  obs::Span span("corrupter.corrupt", "corrupt", "corrupter.corrupt_time");
+  // Provenance stamping is decided once per run, not per injection, so the
+  // hot loop pays a single member-bool test instead of three atomic loads.
+  provenance_armed_ = obs::events_enabled() || obs::metrics_enabled() ||
+                      obs::tracing_enabled();
+  if (provenance_armed_) run_start_ = std::chrono::steady_clock::now();
   const auto locations = resolve_locations(file);
   require(!locations.empty(), "Corrupter: no corruptible locations");
   const std::uint64_t attempts = resolve_attempts(file);
@@ -91,6 +98,15 @@ InjectionReport Corrupter::corrupt(mh5::File& file, const ModelContext* ctx) {
       corrupt_int(ds, index, path, ctx, report);
     }
   }
+  if (obs::metrics_enabled()) {
+    obs::counter_add("corrupter.runs");
+    obs::counter_add("corrupter.flips_attempted", report.attempts);
+    obs::counter_add("corrupter.flips_applied", report.injections);
+    obs::counter_add("corrupter.nan_filtered", report.nan_retries);
+    obs::counter_add("corrupter.nan_gave_up", report.nan_gave_up);
+    obs::counter_add("corrupter.prob_skipped", report.prob_skipped);
+    obs::counter_add("corrupter.bytes_scanned", report.bytes_scanned);
+  }
   return report;
 }
 
@@ -99,6 +115,8 @@ InjectionReport Corrupter::corrupt_file(const std::string& in_path,
                                         const ModelContext* ctx) {
   mh5::File f = mh5::File::load(in_path);
   InjectionReport report = corrupt(f, ctx);
+  report.log.set_meta("target_file", in_path);
+  if (out_path != in_path) report.log.set_meta("output_file", out_path);
   f.save(out_path);
   return report;
 }
@@ -112,6 +130,7 @@ bool Corrupter::corrupt_float(mh5::Dataset& ds, std::uint64_t index,
   constexpr int kMaxNanRetries = 10000;
 
   for (int attempt = 0; attempt < kMaxNanRetries; ++attempt) {
+    report.bytes_scanned += static_cast<std::uint64_t>(bits) / 8;
     const std::uint64_t old_repr = ds.element_bits(index);
     const double old_value = decode_float(old_repr, bits);
     std::uint64_t new_repr = old_repr;
@@ -171,6 +190,7 @@ void Corrupter::corrupt_int(mh5::Dataset& ds, std::uint64_t index,
                             InjectionReport& report) {
   // Python-bin() semantics (paper Section IV-B): flip a random bit within
   // the value's binary representation. bin(|v|) of 0 is "0", one digit.
+  report.bytes_scanned += sizeof(std::int64_t);
   const std::int64_t old_int = ds.get_int(index);
   const std::uint64_t mag = old_int < 0
                                 ? static_cast<std::uint64_t>(-(old_int + 1)) + 1
@@ -198,6 +218,14 @@ void Corrupter::record(const std::string& path, std::uint64_t stored_index,
   rec.scale = scale;
   rec.old_value = old_value;
   rec.new_value = new_value;
+  // Provenance costs a clock read per injection, so it is stamped only when
+  // an obs facility was enabled at the start of the run.
+  if (provenance_armed_) {
+    rec.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - run_start_)
+                      .count();
+    rec.rng_draw = rng_.draws();
+  }
   if (ctx != nullptr) {
     if (const auto* info = ctx->lookup(path)) {
       rec.canonical_param = info->canonical_param;
@@ -207,6 +235,7 @@ void Corrupter::record(const std::string& path, std::uint64_t stored_index,
     }
   }
   ++report.injections;
+  if (obs::events_enabled()) obs::emit_event("bitflip_applied", rec.to_json());
   report.log.add(std::move(rec));
 }
 

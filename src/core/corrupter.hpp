@@ -8,6 +8,7 @@
 // is also recorded in canonical model coordinates for equivalent injection.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -51,6 +52,7 @@ struct InjectionReport {
   std::uint64_t prob_skipped = 0; ///< attempts skipped by injection_probability
   std::uint64_t nan_retries = 0;  ///< corruptions discarded by the NaN filter
   std::uint64_t nan_gave_up = 0;  ///< attempts abandoned after max retries
+  std::uint64_t bytes_scanned = 0; ///< dataset bytes read while corrupting
   InjectionLog log;               ///< ordered record of every injection
 };
 
@@ -94,6 +96,11 @@ class Corrupter {
 
   CorrupterConfig cfg_;
   Rng rng_;
+  /// Start of the current corrupt() run; origin of the log's wall_ms offsets.
+  std::chrono::steady_clock::time_point run_start_;
+  /// Whether any obs facility was enabled when the current run started;
+  /// provenance (wall_ms / rng_draw) is stamped only when true.
+  bool provenance_armed_ = false;
 };
 
 }  // namespace ckptfi::core

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace ckptfi::core {
@@ -37,17 +38,34 @@ void ExperimentRunner::load_into(nn::Model& model,
 }
 
 void ExperimentRunner::cache_baseline_snapshot() {
-  ckpt_cache_[baseline_epoch_] =
+  obs::Span span("experiment.serialize", "serialize",
+                 "experiment.serialize_time");
+  auto& bytes = ckpt_cache_[baseline_epoch_] =
       adapter_
           ->checkpoint_to_file(*baseline_model_, cfg_.precision_bits,
                                static_cast<std::int64_t>(baseline_epoch_))
           .serialize();
+  obs::counter_add("experiment.ckpts_snapshotted");
+  if (obs::events_enabled()) {
+    Json f = Json::object();
+    f["epoch"] = baseline_epoch_;
+    f["bytes"] = bytes.size();
+    f["framework"] = cfg_.framework;
+    f["model"] = cfg_.model;
+    obs::emit_event("checkpoint_saved", f);
+  }
 }
 
 mh5::File ExperimentRunner::checkpoint_at(std::size_t epoch) {
   const auto hit = ckpt_cache_.find(epoch);
-  if (hit != ckpt_cache_.end()) return clone_bytes(hit->second);
+  if (hit != ckpt_cache_.end()) {
+    obs::counter_add("experiment.ckpt_cache_hits");
+    return clone_bytes(hit->second);
+  }
+  obs::counter_add("experiment.ckpt_cache_misses");
 
+  obs::Span span("experiment.baseline", "baseline",
+                 "experiment.baseline_time");
   if (baseline_model_ == nullptr) {
     baseline_model_ = make_model();
     nn::TrainConfig tc;
@@ -61,6 +79,8 @@ mh5::File ExperimentRunner::checkpoint_at(std::size_t epoch) {
   // Every epoch <= baseline_epoch_ is already cached, so the request is for
   // the future: advance the continuous training, snapshotting each epoch.
   while (baseline_epoch_ < epoch) {
+    obs::Span epoch_span("experiment.baseline_epoch", "baseline",
+                         "trainer.epoch_time");
     baseline_trainer_->train_epoch(train_loader_->batches(baseline_epoch_));
     ++baseline_epoch_;
     cache_baseline_snapshot();
@@ -84,6 +104,8 @@ nn::TrainResult ExperimentRunner::resume_training(const mh5::File& ckpt,
 std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
 ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
                                              std::size_t epochs) {
+  obs::Span span("experiment.resume", "resume", "experiment.resume_time");
+  obs::counter_add("experiment.resumes");
   const auto from_epoch =
       static_cast<std::size_t>(fw::checkpoint_epoch(ckpt));
   if (epochs == 0) {
@@ -106,6 +128,8 @@ ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
 }
 
 nn::EvalResult ExperimentRunner::predict(const mh5::File& ckpt) {
+  obs::Span span("experiment.predict", "predict", "experiment.predict_time");
+  obs::counter_add("experiment.predicts");
   auto model = make_model();
   load_into(*model, ckpt);
   return nn::evaluate_with_nev(*model, test_batches_);
@@ -114,6 +138,8 @@ nn::EvalResult ExperimentRunner::predict(const mh5::File& ckpt) {
 nn::EvalResult ExperimentRunner::predict_subset(const mh5::File& ckpt,
                                                 std::size_t part,
                                                 std::size_t num_parts) {
+  obs::Span span("experiment.predict", "predict", "experiment.predict_time");
+  obs::counter_add("experiment.predicts");
   require(num_parts > 0 && part < num_parts,
           "predict_subset: bad part/num_parts");
   auto model = make_model();

@@ -20,6 +20,8 @@ Json InjectionRecord::to_json() const {
   if (scale) j["scale"] = *scale;
   j["old_value"] = old_value;
   j["new_value"] = new_value;
+  if (wall_ms) j["wall_ms"] = *wall_ms;
+  if (rng_draw) j["rng_draw"] = *rng_draw;
   return j;
 }
 
@@ -42,6 +44,9 @@ InjectionRecord InjectionRecord::from_json(const Json& j) {
     r.old_value = j.at("old_value").as_double();
   if (j.contains("new_value") && j.at("new_value").is_number())
     r.new_value = j.at("new_value").as_double();
+  if (j.contains("wall_ms")) r.wall_ms = j.at("wall_ms").as_double();
+  if (j.contains("rng_draw"))
+    r.rng_draw = static_cast<std::uint64_t>(j.at("rng_draw").as_int());
   return r;
 }
 

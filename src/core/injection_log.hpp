@@ -40,6 +40,15 @@ struct InjectionRecord {
   double old_value = 0.0;
   double new_value = 0.0;
 
+  /// Provenance: wall-clock offset from the start of the corruption run and
+  /// the corrupter's raw RNG draw count at the moment of injection — together
+  /// they pin where in time and in the random stream an injection happened,
+  /// so a replay that diverges can be diagnosed down to the draw instead of
+  /// "somewhere in the run". Stamped only while an obs facility is enabled
+  /// (the wall clock costs a read per injection); absent otherwise.
+  std::optional<double> wall_ms;
+  std::optional<std::uint64_t> rng_draw;
+
   Json to_json() const;
   static InjectionRecord from_json(const Json& j);
 };

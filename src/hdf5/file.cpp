@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 #include "util/crc32.hpp"
 #include "util/strings.hpp"
@@ -189,15 +191,19 @@ std::unique_ptr<Node> read_node(Reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> File::serialize() const {
+  obs::Span span("mh5.serialize", "io", "mh5.serialize_time");
   std::vector<std::uint8_t> out;
   Writer w(out);
   w.raw(kMagic, 4);
   w.u32(kVersion);
   write_node(w, *root_);
+  obs::counter_add("mh5.bytes_serialized", out.size());
   return out;
 }
 
 File File::deserialize(const std::vector<std::uint8_t>& bytes) {
+  obs::Span span("mh5.deserialize", "io", "mh5.deserialize_time");
+  obs::counter_add("mh5.bytes_deserialized", bytes.size());
   Reader r(bytes.data(), bytes.size());
   char magic[4];
   r.raw(magic, 4);
@@ -213,15 +219,19 @@ File File::deserialize(const std::vector<std::uint8_t>& bytes) {
 }
 
 File File::load(const std::string& path) {
+  obs::Span span("mh5.load", "io", "mh5.read_time");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("mh5: cannot open '" + path + "'");
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
+  obs::counter_add("mh5.bytes_read", bytes.size());
   return deserialize(bytes);
 }
 
 void File::save(const std::string& path) const {
+  obs::Span span("mh5.save", "io", "mh5.write_time");
   const auto bytes = serialize();
+  obs::counter_add("mh5.bytes_written", bytes.size());
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 
@@ -13,12 +14,15 @@ std::pair<double, double> Trainer::train_epoch(
   double loss_sum = 0.0;
   double acc_sum = 0.0;
   for (const Batch& b : batches) {
+    obs::Span span("trainer.batch", "train", "trainer.batch_time");
     Tensor logits = model_.forward(b.x, /*training=*/true);
     LossResult lr = softmax_cross_entropy(logits, b.y);
     loss_sum += lr.loss;
     acc_sum += accuracy(logits, b.y);
     model_.backward(lr.dlogits);
     opt_.step(model_.params());
+    obs::counter_add("trainer.batches_done");
+    obs::counter_add("trainer.samples_seen", b.y.size());
   }
   const double n = static_cast<double>(batches.size());
   return {loss_sum / n, acc_sum / n};
@@ -31,17 +35,42 @@ TrainResult Trainer::fit(const BatchProvider& provider,
   TrainResult result;
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
     const std::size_t epoch = first_epoch + e;
-    const auto batches = provider(epoch);
-    auto [loss, train_acc] = train_epoch(batches);
-
     EpochStats stats;
-    stats.epoch = epoch;
-    stats.train_loss = loss;
-    stats.train_accuracy = train_acc;
-    stats.test_accuracy = evaluate(model_, test_batches);
-    stats.nev = is_nev(loss) || model_.has_non_finite_params();
+    {
+      obs::Span span("trainer.epoch", "train", "trainer.epoch_time");
+      const auto batches = provider(epoch);
+      auto [loss, train_acc] = train_epoch(batches);
+
+      stats.epoch = epoch;
+      stats.train_loss = loss;
+      stats.train_accuracy = train_acc;
+      stats.test_accuracy = evaluate(model_, test_batches);
+      stats.nev = is_nev(loss) || model_.has_non_finite_params();
+    }
     result.epochs.push_back(stats);
     result.final_accuracy = stats.test_accuracy;
+    if (obs::metrics_enabled()) {
+      obs::counter_add("trainer.epochs_done");
+      obs::gauge_set("trainer.train_loss", stats.train_loss);
+      obs::gauge_set("trainer.train_accuracy", stats.train_accuracy);
+      obs::gauge_set("trainer.test_accuracy", stats.test_accuracy);
+      if (stats.nev) obs::counter_add("trainer.nev_epochs");
+    }
+    if (obs::events_enabled()) {
+      Json f = Json::object();
+      f["epoch"] = stats.epoch;
+      f["train_loss"] = stats.train_loss;
+      f["train_accuracy"] = stats.train_accuracy;
+      f["test_accuracy"] = stats.test_accuracy;
+      f["nev"] = stats.nev;
+      obs::emit_event("epoch_done", f);
+      if (stats.nev) {
+        Json n = Json::object();
+        n["epoch"] = stats.epoch;
+        n["train_loss"] = stats.train_loss;
+        obs::emit_event("nev_detected", n);
+      }
+    }
     if (on_epoch) on_epoch(stats);
     if (stats.nev) {
       result.collapsed = true;
@@ -53,6 +82,7 @@ TrainResult Trainer::fit(const BatchProvider& provider,
 
 double evaluate(Model& model, const std::vector<Batch>& batches) {
   require(!batches.empty(), "evaluate: no batches");
+  obs::Span span("trainer.evaluate", "eval", "trainer.eval_time");
   double acc_sum = 0.0;
   std::size_t total = 0, correct = 0;
   (void)acc_sum;

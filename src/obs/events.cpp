@@ -1,0 +1,84 @@
+#include "obs/events.hpp"
+
+#include "util/common.hpp"
+
+namespace ckptfi::obs {
+
+namespace detail {
+std::atomic<bool> g_events_enabled{false};
+}  // namespace detail
+
+void set_events_enabled(bool on) {
+  if (on) EventLog::global();  // pin the epoch before the first event
+  detail::g_events_enabled.store(on, std::memory_order_relaxed);
+}
+
+EventLog::EventLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLog& EventLog::global() {
+  static EventLog* log = new EventLog;  // leaked: see Registry
+  return *log;
+}
+
+void EventLog::open_sink(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*out) throw Error("EventLog: cannot write '" + path + "'");
+  std::lock_guard lock(mu_);
+  sink_ = std::move(out);
+  sink_path_ = path;
+}
+
+void EventLog::close_sink() {
+  std::lock_guard lock(mu_);
+  sink_.reset();
+  sink_path_.clear();
+}
+
+void EventLog::emit(std::string_view type, Json fields) {
+  const double ts_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  Json e = Json::object();
+  e["ts_ms"] = ts_ms;
+  e["type"] = std::string(type);
+  if (fields.is_object()) {
+    for (const auto& [k, v] : fields.members()) e[k] = v;
+  }
+  std::lock_guard lock(mu_);
+  if (sink_) *sink_ << e.dump() << "\n";
+  buffer_.push_back(std::move(e));
+}
+
+std::vector<Json> EventLog::events() const {
+  std::lock_guard lock(mu_);
+  return buffer_;
+}
+
+std::vector<Json> EventLog::events_of_type(std::string_view type) const {
+  std::lock_guard lock(mu_);
+  std::vector<Json> out;
+  for (const auto& e : buffer_) {
+    if (e.contains("type") && e.at("type").as_string() == type) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard lock(mu_);
+  return buffer_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mu_);
+  buffer_.clear();
+}
+
+void emit_event(std::string_view type, Json fields) {
+  if (!events_enabled()) return;
+  EventLog::global().emit(type, std::move(fields));
+}
+
+}  // namespace ckptfi::obs

@@ -1,0 +1,68 @@
+// Structured domain-event log (JSONL).
+//
+// Instrumented code emits typed events — "bitflip_applied",
+// "checkpoint_saved", "nev_detected", "epoch_done" — as one JSON object per
+// line, so an injection campaign leaves a replayable, greppable record of
+// what happened when. Events carry a monotonic "ts_ms" offset from the log's
+// epoch; an optional sink file receives lines as they are emitted, and an
+// in-memory buffer keeps them queryable for tests and reports. Disabled
+// (the default), emit_event() is a single relaxed load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckptfi::obs {
+
+namespace detail {
+extern std::atomic<bool> g_events_enabled;
+}  // namespace detail
+
+/// Global event-log switch. Off by default.
+inline bool events_enabled() {
+  return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+void set_events_enabled(bool on);
+
+class EventLog {
+ public:
+  static EventLog& global();
+
+  /// Start mirroring events to `path` as JSONL (truncates). Throws on I/O
+  /// failure. close() (or a later open()) ends the mirror.
+  void open_sink(const std::string& path);
+  void close_sink();
+
+  /// Record {"ts_ms":…,"type":type, …fields}. `fields` must be an object
+  /// (or null for a field-less event).
+  void emit(std::string_view type, Json fields = Json());
+
+  /// Events recorded so far (copy; cheap at campaign scale).
+  std::vector<Json> events() const;
+  /// Recorded events whose "type" equals `type`.
+  std::vector<Json> events_of_type(std::string_view type) const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  EventLog();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Json> buffer_;
+  std::unique_ptr<std::ofstream> sink_;
+  std::string sink_path_;
+};
+
+/// Hot-path helper: no-op (one relaxed load) when events are disabled.
+void emit_event(std::string_view type, Json fields = Json());
+
+}  // namespace ckptfi::obs

@@ -1,0 +1,25 @@
+// ckptfi::obs — observability for the train -> corrupt -> resume pipeline.
+//
+// Three independent, individually-switchable facilities (all off by default,
+// all ~free when off):
+//   registry.hpp  counters / gauges / histograms   (what & how much)
+//   trace.hpp     scoped spans -> Chrome trace JSON (where time goes)
+//   events.hpp    structured JSONL domain events    (what happened when)
+//
+// See docs/OBSERVABILITY.md for naming conventions and how to view traces.
+#pragma once
+
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ckptfi::obs {
+
+/// Flip all three facilities at once (examples / CLIs).
+inline void set_all_enabled(bool on) {
+  set_metrics_enabled(on);
+  set_tracing_enabled(on);
+  set_events_enabled(on);
+}
+
+}  // namespace ckptfi::obs

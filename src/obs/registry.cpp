@@ -1,0 +1,239 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace ckptfi::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  if (on) Registry::global();  // materialize before first hot-path lookup
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  if (n == 0) {
+    // First sample seeds both extrema; races with concurrent first samples
+    // resolve through the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::percentile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo = i == 0 ? min() : std::max(min(), bounds_[i - 1]);
+      const double hi = i == bounds_.size() ? max() : std::min(max(), bounds_[i]);
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::vector<double> ladder_1_25_5(double lo, double hi) {
+  std::vector<double> out;
+  for (double decade = lo; decade <= hi * 1.0001; decade *= 10.0) {
+    for (double step : {1.0, 2.5, 5.0}) {
+      const double v = decade * step;
+      if (v <= hi * 1.0001) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Histogram::default_time_bounds() {
+  return ladder_1_25_5(1e-6, 100.0);
+}
+
+std::vector<double> Histogram::default_size_bounds() {
+  return ladder_1_25_5(64.0, 16.0 * 1024 * 1024 * 1024);
+}
+
+Json Snapshot::to_json() const {
+  Json j = Json::object();
+  Json c = Json::object();
+  for (const auto& s : counters) c[s.name] = s.value;
+  j["counters"] = c;
+  Json g = Json::object();
+  for (const auto& s : gauges) g[s.name] = s.value;
+  j["gauges"] = g;
+  Json h = Json::object();
+  for (const auto& s : histograms) {
+    Json e = Json::object();
+    e["count"] = s.count;
+    e["sum"] = s.sum;
+    e["mean"] = s.mean;
+    e["min"] = s.min;
+    e["max"] = s.max;
+    e["p50"] = s.p50;
+    e["p90"] = s.p90;
+    e["p99"] = s.p99;
+    h[s.name] = e;
+  }
+  j["histograms"] = h;
+  return j;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: outlive worker-thread exits
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::default_time_bounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::shared_lock lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p90 = h->percentile(0.90);
+    s.p99 = h->percentile(0.99);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::unique_lock lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Registry::reset_values() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace ckptfi::obs

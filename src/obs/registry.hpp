@@ -1,0 +1,179 @@
+// Process-wide metrics registry (paper-campaign observability, DESIGN.md §obs).
+//
+// Counters, gauges and fixed-bucket histograms, addressed by dotted names
+// ("corrupter.flips_applied"). All updates are lock-free atomic operations on
+// handles whose addresses are stable for the registry's lifetime; name lookup
+// takes a shared lock and allocates only on first registration. The whole
+// subsystem is off by default: every hot-path helper below is a single
+// relaxed atomic load when metrics are disabled — no locks, no allocations,
+// no clock reads — so instrumented code costs ~nothing in ordinary runs.
+//
+// Naming convention (see docs/OBSERVABILITY.md): "<subsystem>.<metric>",
+// snake_case, durations in seconds via "*_time" histograms, sizes in bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckptfi::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Global metrics switch. Off by default.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (plus add() for up/down quantities like queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with interpolated percentiles. Bucket bounds are
+/// immutable after construction, so observe() is a binary search plus a few
+/// relaxed atomic updates — safe from any thread.
+class Histogram {
+ public:
+  /// `bounds` are the ascending upper edges of the finite buckets; one
+  /// overflow bucket is added past the last edge.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+
+  /// Linear-interpolated percentile from the bucket counts, q in [0,1].
+  /// Returns 0 when empty. Exact at bucket edges, approximate within.
+  double percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+  /// Default bucket ladder: 1-2.5-5 steps covering 1us..100s (in seconds) —
+  /// suited to the latency histograms most of the library registers.
+  static std::vector<double> default_time_bounds();
+  /// 1-2.5-5 steps covering 64B..16GiB — for byte-size histograms.
+  static std::vector<double> default_size_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One registry snapshot, ready for table rendering or JSON export.
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  Json to_json() const;
+};
+
+/// The process-wide named-metric store. Handles returned by counter() /
+/// gauge() / histogram() stay valid until reset() and may be cached by
+/// callers (e.g. in function-local statics) for lookup-free updates.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registers with `bounds` on first use; later calls return the existing
+  /// histogram regardless of `bounds`. Empty bounds = default time ladder.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  Snapshot snapshot() const;
+  Json to_json() const { return snapshot().to_json(); }
+
+  /// Drop every metric (handles become dangling — test-only convenience).
+  void reset();
+  /// Zero every metric but keep registrations (and handle validity).
+  void reset_values();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// --- hot-path helpers: single relaxed load when metrics are disabled ---
+
+inline void counter_add(std::string_view name, std::uint64_t delta = 1) {
+  if (!metrics_enabled()) return;
+  Registry::global().counter(name).add(delta);
+}
+
+inline void gauge_set(std::string_view name, double v) {
+  if (!metrics_enabled()) return;
+  Registry::global().gauge(name).set(v);
+}
+
+inline void gauge_add(std::string_view name, double delta) {
+  if (!metrics_enabled()) return;
+  Registry::global().gauge(name).add(delta);
+}
+
+inline void histogram_observe(std::string_view name, double v) {
+  if (!metrics_enabled()) return;
+  Registry::global().histogram(name).observe(v);
+}
+
+}  // namespace ckptfi::obs

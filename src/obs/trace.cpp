@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/registry.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+void set_tracing_enabled(bool on) {
+  if (on) TraceRecorder::global();  // pin the epoch before the first span
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+int current_tid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = 0;
+  if (tid == 0) tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* r = new TraceRecorder;  // leaked: see Registry
+  return *r;
+}
+
+void TraceRecorder::record_complete(
+    std::string_view name, std::string_view category,
+    std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  Event e;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.ts_us = std::max<std::int64_t>(
+      0, duration_cast<microseconds>(start - epoch_).count());
+  e.dur_us =
+      std::max<std::int64_t>(0, duration_cast<microseconds>(end - start).count());
+  e.tid = current_tid();
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+Json TraceRecorder::to_json() const {
+  std::lock_guard lock(mu_);
+  Json arr = Json::array();
+  for (const auto& e : events_) {
+    Json ev = Json::object();
+    ev["name"] = e.name;
+    ev["cat"] = e.category.empty() ? "app" : e.category;
+    ev["ph"] = "X";
+    ev["ts"] = e.ts_us;
+    ev["dur"] = e.dur_us;
+    ev["pid"] = 1;
+    ev["tid"] = e.tid;
+    arr.push_back(ev);
+  }
+  Json j = Json::object();
+  j["traceEvents"] = arr;
+  j["displayTimeUnit"] = "ms";
+  return j;
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("TraceRecorder: cannot write '" + path + "'");
+  out << to_json().dump(1) << "\n";
+}
+
+bool Span::metrics_armed() { return metrics_enabled(); }
+
+void Span::finish() {
+  const auto end = std::chrono::steady_clock::now();
+  if (tracing_enabled()) {
+    TraceRecorder::global().record_complete(name_, category_, start_, end);
+  }
+  if (metric_ != nullptr && metrics_enabled()) {
+    histogram_observe(metric_,
+                      std::chrono::duration<double>(end - start_).count());
+  }
+}
+
+}  // namespace ckptfi::obs

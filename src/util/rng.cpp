@@ -27,6 +27,7 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::next_u64() {
+  ++draws_;
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

@@ -20,6 +20,11 @@ class Rng {
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 
+  /// Raw 64-bit draws consumed so far. An injection record stamped with this
+  /// index pins exactly where in the stream it happened, so replay
+  /// divergences can be localised to a draw rather than a whole run.
+  std::uint64_t draws() const { return draws_; }
+
   /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
   /// the result is exactly uniform.
   std::uint64_t uniform_u64(std::uint64_t n);
@@ -57,6 +62,7 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+  std::uint64_t draws_ = 0;
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };

@@ -1,7 +1,10 @@
 #include "util/threadpool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "obs/registry.hpp"
 
 namespace ckptfi {
 
@@ -34,8 +37,22 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (obs::metrics_enabled()) {
+        obs::gauge_set("threadpool.queue_depth",
+                       static_cast<double>(tasks_.size()));
+      }
     }
-    task();
+    if (obs::metrics_enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      obs::histogram_observe(
+          "threadpool.task_time",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+      obs::counter_add("threadpool.tasks_executed");
+    } else {
+      task();
+    }
   }
 }
 
@@ -81,6 +98,10 @@ void ThreadPool::parallel_for(
     {
       std::lock_guard lock(mu_);
       tasks_.push(std::move(task));
+      if (obs::metrics_enabled()) {
+        obs::gauge_set("threadpool.queue_depth",
+                       static_cast<double>(tasks_.size()));
+      }
     }
     cv_.notify_one();
   }

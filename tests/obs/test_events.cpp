@@ -1,0 +1,145 @@
+// Event-log semantics: JSONL sink well-formedness, in-memory querying, and
+// the corrupter's bitflip_applied provenance (wall_ms / rng_draw / target)
+// flowing through the event log and the InjectionLog.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/corrupter.hpp"
+#include "obs/events.hpp"
+#include "util/rng.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+class EventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_events_enabled(true);
+    obs::EventLog::global().clear();
+  }
+  void TearDown() override {
+    obs::EventLog::global().close_sink();
+    obs::EventLog::global().clear();
+    obs::set_events_enabled(false);
+  }
+};
+
+mh5::File small_file() {
+  mh5::File f;
+  Rng rng(3);
+  auto& ds = f.create_dataset("model/w", mh5::DType::F64, {256});
+  for (std::uint64_t i = 0; i < 256; ++i) ds.set_double(i, rng.normal());
+  return f;
+}
+
+core::CorrupterConfig flip_cfg(int flips) {
+  core::CorrupterConfig cc;
+  cc.injection_type = core::InjectionType::Count;
+  cc.injection_attempts = flips;
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 11;
+  return cc;
+}
+
+TEST_F(EventsTest, EmitAddsTimestampAndTypeAndPreservesOrder) {
+  Json f1 = Json::object();
+  f1["k"] = 1;
+  obs::emit_event("first", f1);
+  obs::emit_event("second");
+  const auto events = obs::EventLog::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("type").as_string(), "first");
+  EXPECT_EQ(events[0].at("k").as_int(), 1);
+  EXPECT_EQ(events[1].at("type").as_string(), "second");
+  EXPECT_LE(events[0].at("ts_ms").as_double(),
+            events[1].at("ts_ms").as_double());
+}
+
+TEST_F(EventsTest, SinkWritesOneParseableJsonObjectPerLine) {
+  const std::string path = "test_events_sink.jsonl";
+  obs::EventLog::global().open_sink(path);
+  for (int i = 0; i < 5; ++i) {
+    Json f = Json::object();
+    f["i"] = i;
+    obs::emit_event("tick", f);
+  }
+  obs::EventLog::global().close_sink();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    const Json j = Json::parse(line);  // throws if any line is malformed
+    EXPECT_EQ(j.at("type").as_string(), "tick");
+    EXPECT_EQ(j.at("i").as_int(), n);
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
+  std::remove(path.c_str());
+}
+
+TEST_F(EventsTest, DisabledEmitIsDropped) {
+  obs::set_events_enabled(false);
+  obs::emit_event("ghost");
+  EXPECT_EQ(obs::EventLog::global().size(), 0u);
+  obs::set_events_enabled(true);
+}
+
+TEST_F(EventsTest, CorrupterEmitsBitflipAppliedWithProvenance) {
+  mh5::File f = small_file();
+  core::Corrupter corrupter(flip_cfg(20));
+  const core::InjectionReport report = corrupter.corrupt(f);
+
+  const auto flips = obs::EventLog::global().events_of_type("bitflip_applied");
+  EXPECT_EQ(flips.size(), report.injections);
+  ASSERT_FALSE(flips.empty());
+  for (const auto& e : flips) {
+    EXPECT_EQ(e.at("location").as_string(), "model/w");
+    EXPECT_GE(e.at("wall_ms").as_double(), 0.0);
+    EXPECT_GT(e.at("rng_draw").as_int(), 0);
+  }
+  EXPECT_GT(report.bytes_scanned, 0u);
+}
+
+TEST_F(EventsTest, InjectionLogCarriesProvenanceThroughRoundTrip) {
+  mh5::File f = small_file();
+  core::Corrupter corrupter(flip_cfg(5));
+  const core::InjectionReport report = corrupter.corrupt(f);
+  ASSERT_FALSE(report.log.empty());
+
+  // rng_draw must be strictly increasing: later injections consume later
+  // draws, which is what makes a replay divergence bisectable.
+  std::uint64_t prev = 0;
+  for (const auto& rec : report.log.records()) {
+    ASSERT_TRUE(rec.rng_draw.has_value());
+    ASSERT_TRUE(rec.wall_ms.has_value());
+    EXPECT_GT(*rec.rng_draw, prev);
+    prev = *rec.rng_draw;
+  }
+
+  const core::InjectionLog back =
+      core::InjectionLog::from_json(report.log.to_json());
+  ASSERT_EQ(back.size(), report.log.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.records()[i].rng_draw, report.log.records()[i].rng_draw);
+  }
+}
+
+TEST_F(EventsTest, CorruptFileRecordsTargetPathMeta) {
+  const std::string in_path = "test_events_target.h5";
+  small_file().save(in_path);
+  core::Corrupter corrupter(flip_cfg(3));
+  const core::InjectionReport report =
+      corrupter.corrupt_file(in_path, in_path);
+  EXPECT_EQ(report.log.meta("target_file"), in_path);
+  std::remove(in_path.c_str());
+}
+
+}  // namespace

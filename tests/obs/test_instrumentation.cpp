@@ -1,0 +1,107 @@
+// End-to-end instrumentation: a tiny train -> corrupt -> resume cell with
+// all obs facilities on must populate the paper-pipeline metrics, nested
+// phase spans, and the domain event stream.
+#include <gtest/gtest.h>
+
+#include "core/corrupter.hpp"
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+class InstrumentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_all_enabled(true);
+    obs::Registry::global().reset();
+    obs::TraceRecorder::global().clear();
+    obs::EventLog::global().clear();
+  }
+  void TearDown() override {
+    obs::Registry::global().reset();
+    obs::TraceRecorder::global().clear();
+    obs::EventLog::global().clear();
+    obs::set_all_enabled(false);
+  }
+
+  static core::ExperimentConfig tiny_config() {
+    core::ExperimentConfig cfg;
+    cfg.framework = "chainer";
+    cfg.model = "alexnet";
+    cfg.model_cfg.width = 2;
+    cfg.data_cfg.num_train = 64;
+    cfg.data_cfg.num_test = 32;
+    cfg.batch_size = 16;
+    cfg.total_epochs = 2;
+    cfg.restart_epoch = 1;
+    cfg.seed = 77;
+    return cfg;
+  }
+};
+
+TEST_F(InstrumentationTest, PipelinePopulatesMetricsSpansAndEvents) {
+  core::ExperimentRunner runner(tiny_config());
+  mh5::File ckpt = runner.restart_checkpoint();
+
+  core::CorrupterConfig cc;
+  cc.injection_type = core::InjectionType::Count;
+  cc.injection_attempts = 10;
+  cc.corruption_mode = core::CorruptionMode::BitRange;
+  cc.first_bit = 0;
+  cc.last_bit = 61;
+  cc.seed = 5;
+  core::Corrupter(cc).corrupt(ckpt);
+
+  (void)runner.resume_training(ckpt);
+
+  auto& reg = obs::Registry::global();
+  EXPECT_GT(reg.counter("corrupter.flips_applied").value(), 0u);
+  EXPECT_GT(reg.counter("corrupter.bytes_scanned").value(), 0u);
+  EXPECT_GT(reg.counter("trainer.epochs_done").value(), 0u);
+  EXPECT_GT(reg.counter("trainer.batches_done").value(), 0u);
+  EXPECT_GT(reg.counter("mh5.bytes_serialized").value(), 0u);
+  EXPECT_EQ(reg.counter("experiment.ckpt_cache_misses").value(), 1u);
+  EXPECT_GT(reg.histogram("trainer.epoch_time").count(), 0u);
+  EXPECT_GT(reg.histogram("experiment.resume_time").count(), 0u);
+
+  // A second checkpoint request is a cache hit.
+  (void)runner.restart_checkpoint();
+  EXPECT_EQ(reg.counter("experiment.ckpt_cache_hits").value(), 1u);
+
+  // Phase spans made it into the trace, and resume nests its epochs.
+  const Json trace = obs::TraceRecorder::global().to_json();
+  bool saw_baseline = false, saw_corrupt = false, saw_resume = false;
+  std::int64_t resume_ts = 0, resume_end = 0;
+  for (const auto& e : trace.at("traceEvents").items()) {
+    const std::string& name = e.at("name").as_string();
+    if (name == "experiment.baseline") saw_baseline = true;
+    if (name == "corrupter.corrupt") saw_corrupt = true;
+    if (name == "experiment.resume") {
+      saw_resume = true;
+      resume_ts = e.at("ts").as_int();
+      resume_end = resume_ts + e.at("dur").as_int();
+    }
+  }
+  EXPECT_TRUE(saw_baseline);
+  EXPECT_TRUE(saw_corrupt);
+  ASSERT_TRUE(saw_resume);
+  bool epoch_inside_resume = false;
+  for (const auto& e : trace.at("traceEvents").items()) {
+    if (e.at("name").as_string() != "trainer.epoch") continue;
+    const std::int64_t ts = e.at("ts").as_int();
+    if (ts >= resume_ts && ts + e.at("dur").as_int() <= resume_end) {
+      epoch_inside_resume = true;
+    }
+  }
+  EXPECT_TRUE(epoch_inside_resume);
+
+  // Domain events: flips and epochs, in causal order.
+  auto& log = obs::EventLog::global();
+  EXPECT_FALSE(log.events_of_type("bitflip_applied").empty());
+  EXPECT_FALSE(log.events_of_type("epoch_done").empty());
+  EXPECT_FALSE(log.events_of_type("checkpoint_saved").empty());
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Span/trace semantics: nesting, Chrome trace-event JSON well-formedness,
+// and the span -> histogram bridge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing_enabled(true);
+    obs::TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    obs::TraceRecorder::global().clear();
+    obs::set_tracing_enabled(false);
+    obs::set_metrics_enabled(false);
+  }
+};
+
+const Json* find_event(const Json& trace, const std::string& name) {
+  for (const auto& e : trace.at("traceEvents").items()) {
+    if (e.at("name").as_string() == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, SpansRecordCompleteEvents) {
+  {
+    obs::Span span("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(obs::TraceRecorder::global().size(), 1u);
+  const Json j = obs::TraceRecorder::global().to_json();
+  const Json* e = find_event(j, "outer");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->at("ph").as_string(), "X");
+  EXPECT_EQ(e->at("cat").as_string(), "test");
+  EXPECT_GE(e->at("ts").as_int(), 0);
+  EXPECT_GE(e->at("dur").as_int(), 1000);  // slept >= 2ms
+  EXPECT_EQ(e->at("pid").as_int(), 1);
+  EXPECT_GT(e->at("tid").as_int(), 0);
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedInParent) {
+  {
+    obs::Span outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      obs::Span inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Json j = obs::TraceRecorder::global().to_json();
+  const Json* outer = find_event(j, "outer");
+  const Json* inner = find_event(j, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Chrome's renderer nests bars by ts/dur containment on one tid.
+  EXPECT_EQ(outer->at("tid").as_int(), inner->at("tid").as_int());
+  EXPECT_LE(outer->at("ts").as_int(), inner->at("ts").as_int());
+  EXPECT_GE(outer->at("ts").as_int() + outer->at("dur").as_int(),
+            inner->at("ts").as_int() + inner->at("dur").as_int());
+  EXPECT_GE(outer->at("dur").as_int(), inner->at("dur").as_int());
+}
+
+TEST_F(TraceTest, JsonIsWellFormedAndParseable) {
+  { obs::Span a("a"); }
+  { obs::Span b("b"); }
+  const std::string text = obs::TraceRecorder::global().to_json().dump(1);
+  const Json back = Json::parse(text);  // throws if malformed
+  ASSERT_TRUE(back.at("traceEvents").is_array());
+  EXPECT_EQ(back.at("traceEvents").size(), 2u);
+  EXPECT_EQ(back.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST_F(TraceTest, SpanFeedsHistogramWhenMetricNamed) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  {
+    obs::Span span("timed", "test", "t.span_time");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto& h = obs::Registry::global().histogram("t.span_time");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.001);
+  obs::Registry::global().reset();
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  obs::set_tracing_enabled(false);
+  { obs::Span span("ghost"); }
+  EXPECT_EQ(obs::TraceRecorder::global().size(), 0u);
+}
+
+}  // namespace
