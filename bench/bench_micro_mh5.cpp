@@ -1,7 +1,28 @@
 // Microbenchmarks of the mh5 container and float encode/decode paths.
+//
+// The serialize/load benchmarks come in pairs contrasting the two container
+// generations (see docs/MH5_FORMAT.md):
+//   - monolithic v1 (payloads inline in the tree) vs streaming v2 (TOC +
+//     sequential payload region written through a Sink),
+//   - eager load (every payload decoded up front) vs lazy load (headers +
+//     TOC only; payloads fault in on first access).
+// Each mode also reports the mh5 obs counters it moved (mh5.bytes_serialized,
+// mh5.serialize_time, mh5.bytes_faulted_in, ...) as benchmark counters, from
+// one untimed probe run so the instrumentation never sits in the hot loop.
+//
+// Pass --json-out=PATH (stripped before Google Benchmark sees the args) to
+// enable the metrics registry for the whole run and dump its snapshot as
+// JSON at exit — the EXPERIMENTS.md before/after numbers come from that.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "hdf5/file.hpp"
+#include "obs/obs.hpp"
 #include "util/bitops.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +46,49 @@ mh5::File make_tree(std::size_t groups, std::size_t datasets_per_group,
   return f;
 }
 
+/// Run `fn` once with metrics forced on and publish the deltas of the named
+/// mh5 counters (plus the mh5.serialize_time histogram, in seconds) on the
+/// benchmark. Restores the previous metrics switch, so a --json-out run's
+/// registry keeps accumulating and a plain run stays uninstrumented.
+template <typename Fn>
+void probe_obs_counters(benchmark::State& state,
+                        const std::vector<std::string>& names, Fn&& fn) {
+  auto& reg = obs::Registry::global();
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  std::vector<std::uint64_t> before;
+  before.reserve(names.size());
+  for (const auto& n : names) before.push_back(reg.counter(n).value());
+  const double time_before = reg.histogram("mh5.serialize_time").sum();
+  fn();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    state.counters[names[i]] = static_cast<double>(
+        reg.counter(names[i]).value() - before[i]);
+  }
+  state.counters["mh5.serialize_time"] =
+      reg.histogram("mh5.serialize_time").sum() - time_before;
+  obs::set_metrics_enabled(was_enabled);
+}
+
+/// v1: monolithic buffer, each dataset's payload inline in the tree walk.
+void BM_SerializeV1(benchmark::State& state) {
+  const mh5::File f =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = f.serialize_v1();
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  probe_obs_counters(state, {"mh5.bytes_serialized"},
+                     [&] { benchmark::DoNotOptimize(f.serialize_v1()); });
+}
+BENCHMARK(BM_SerializeV1)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// v2: streaming writer — tree section, sequential payloads, TOC — through a
+/// BufferSink. Same bytes end-to-end, different write discipline.
 void BM_Serialize(benchmark::State& state) {
   const mh5::File f =
       make_tree(8, 4, static_cast<std::uint64_t>(state.range(0)));
@@ -36,6 +100,8 @@ void BM_Serialize(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(bytes));
+  probe_obs_counters(state, {"mh5.bytes_serialized"},
+                     [&] { benchmark::DoNotOptimize(f.serialize()); });
 }
 BENCHMARK(BM_Serialize)->Arg(256)->Arg(4096)->Arg(65536);
 
@@ -50,6 +116,66 @@ void BM_Deserialize(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_Deserialize)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Eager load: every payload in the container is decoded and CRC-checked.
+void BM_LoadEager(benchmark::State& state) {
+  const auto bytes =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0))).serialize();
+  const auto shared =
+      std::make_shared<const std::vector<std::uint8_t>>(bytes);
+  for (auto _ : state) {
+    mh5::File f = mh5::File::deserialize(*shared);
+    benchmark::DoNotOptimize(f.dataset("g0/layer0/W").get_double(0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared->size()));
+  probe_obs_counters(state, {"mh5.bytes_faulted_in", "mh5.lazy_faults"}, [&] {
+    mh5::File f = mh5::File::deserialize(*shared);
+    benchmark::DoNotOptimize(f.dataset("g0/layer0/W").get_double(0));
+  });
+}
+BENCHMARK(BM_LoadEager)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Lazy load touching ONE of the 32 datasets: the parse reads headers + TOC
+/// only, and exactly one payload faults in. The gap to BM_LoadEager is the
+/// cost the corrupter no longer pays per injection cycle.
+void BM_LoadLazyTouchOne(benchmark::State& state) {
+  const auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0))).serialize());
+  for (auto _ : state) {
+    mh5::File f = mh5::File::deserialize_lazy(shared);
+    benchmark::DoNotOptimize(f.dataset("g0/layer0/W").get_double(0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared->size()));
+  probe_obs_counters(state, {"mh5.bytes_faulted_in", "mh5.lazy_faults"}, [&] {
+    mh5::File f = mh5::File::deserialize_lazy(shared);
+    benchmark::DoNotOptimize(f.dataset("g0/layer0/W").get_double(0));
+  });
+}
+BENCHMARK(BM_LoadLazyTouchOne)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Patched rewrite after dirtying one dataset: 31 of 32 payloads stream
+/// verbatim from the source file, only the dirty one re-encodes.
+void BM_SavePatchedOneDirty(benchmark::State& state) {
+  const std::string in_path = "bench_micro_mh5_in.mh5";
+  const std::string out_path = "bench_micro_mh5_out.mh5";
+  make_tree(8, 4, static_cast<std::uint64_t>(state.range(0))).save(in_path);
+  for (auto _ : state) {
+    mh5::File f = mh5::File::load_lazy(in_path);
+    f.dataset("g0/layer0/W").set_element_bits(0, 0x3f800000u);
+    f.save_patched(out_path);
+  }
+  probe_obs_counters(
+      state, {"mh5.bytes_serialized", "mh5.bytes_copied_verbatim"}, [&] {
+        mh5::File f = mh5::File::load_lazy(in_path);
+        f.dataset("g0/layer0/W").set_element_bits(0, 0x3f800000u);
+        f.save_patched(out_path);
+      });
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+BENCHMARK(BM_SavePatchedOneDirty)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_Visit(benchmark::State& state) {
   const mh5::File f = make_tree(32, 8, 16);
@@ -110,6 +236,41 @@ void BM_EncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeDecode)->Arg(16)->Arg(32)->Arg(64);
 
+std::string g_json_out;
+
+void write_metrics_snapshot() {
+  std::ofstream out(g_json_out, std::ios::trunc);
+  if (out) {
+    out << obs::Registry::global().to_json().dump(2) << "\n";
+  } else {
+    std::fprintf(stderr, "bench_micro_mh5: cannot write metrics to '%s'\n",
+                 g_json_out.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json-out=PATH before Google Benchmark parses the args (it
+  // aborts on flags it does not know). The flag enables the obs metrics
+  // registry for the whole run and dumps its snapshot as JSON at exit.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      g_json_out = arg.substr(std::string("--json-out=").size());
+      obs::set_metrics_enabled(true);
+      std::atexit(write_metrics_snapshot);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

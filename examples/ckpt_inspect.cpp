@@ -1,10 +1,14 @@
 // ckpt_inspect: h5ls-style inspector for mh5 / npz checkpoint files.
 //
-//   $ ./ckpt_inspect <file.h5|file.npz> [--nev]
+//   $ ./ckpt_inspect <file.h5|file.npz> [--nev] [--check]
 //
-// Prints the tree (groups, datasets with dtype/shape, attributes) and, with
-// --nev, a NaN/Inf/extreme-value scan per dataset — the first thing one
-// wants to know about a possibly-corrupted checkpoint.
+// Prints the container format version, the tree (groups, datasets with
+// dtype/shape, attributes) and — for streamed v2 containers — the dataset
+// TOC with each payload's offset, byte count and CRC-32. With --nev it adds
+// a NaN/Inf/extreme-value scan per dataset (the first thing one wants to
+// know about a possibly-corrupted checkpoint); with --check it verifies
+// every dataset payload against its stored CRC and exits non-zero on any
+// mismatch.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -34,19 +38,39 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <file.h5|file.npz> [--nev]\n", argv[0]);
+  bool scan_nev = false, check_crcs = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nev") == 0) {
+      scan_nev = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_crcs = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path.clear();
+      break;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <file.h5|file.npz> [--nev] [--check]\n",
+                 argv[0]);
     return 2;
   }
-  const bool scan_nev = argc == 3 && std::strcmp(argv[2], "--nev") == 0;
   try {
-    const std::string path = argv[1];
-    const mh5::File file = ends_with(path, ".npz") ? mh5::load_npz(path)
-                                                   : mh5::File::load(path);
+    const bool is_npz = ends_with(path, ".npz");
+    // Lazy open: tree/TOC printing works even when a payload is corrupt —
+    // --check then names the bad dataset instead of dying at open.
+    const mh5::File file =
+        is_npz ? mh5::load_npz(path) : mh5::File::load_lazy(path);
 
     std::printf("%s  (%llu entries in %zu datasets)\n", path.c_str(),
                 static_cast<unsigned long long>(file.total_entries()),
                 file.dataset_paths().size());
+    if (!is_npz) {
+      std::printf("format: mh5 v%u\n",
+                  mh5::File::probe_version(path));
+    }
     file.visit([&](const std::string& p, const mh5::Node& node) {
       const std::string display = p.empty() ? "/" : p;
       if (node.is_group()) {
@@ -93,11 +117,36 @@ int main(int argc, char** argv) {
                     attr_to_string(value).c_str());
       }
     });
+    if (!file.toc().empty()) {
+      std::printf("\nTOC (%zu payloads):\n", file.toc().size());
+      std::printf("%-52s %10s %10s %10s\n", "dataset", "offset", "nbytes",
+                  "crc32");
+      for (const auto& e : file.toc()) {
+        std::printf("%-52s %10llu %10llu 0x%08x\n", e.path.c_str(),
+                    static_cast<unsigned long long>(e.offset),
+                    static_cast<unsigned long long>(e.nbytes), e.crc);
+      }
+    }
     if (scan_nev) {
       const core::NevScan scan = core::scan_checkpoint(file);
       std::printf("\ntotal: %llu/%llu float entries are N-EV\n",
                   static_cast<unsigned long long>(scan.nev()),
                   static_cast<unsigned long long>(scan.total));
+    }
+    if (check_crcs) {
+      if (is_npz) {
+        std::fprintf(stderr, "--check: not supported for npz archives\n");
+        return 2;
+      }
+      const auto errors = mh5::File::verify(path);
+      if (errors.empty()) {
+        std::printf("\ncheck: all dataset CRCs verify\n");
+      } else {
+        std::printf("\ncheck: %zu dataset(s) FAILED verification\n",
+                    errors.size());
+        for (const auto& e : errors) std::printf("  %s\n", e.c_str());
+        return 1;
+      }
     }
     return 0;
   } catch (const std::exception& e) {

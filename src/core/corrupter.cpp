@@ -36,7 +36,14 @@ Corrupter::Corrupter(CorrupterConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed
 
 std::vector<std::string> Corrupter::resolve_locations(
     const mh5::File& file) const {
-  const auto all = file.dataset_paths();
+  // The TOC of a streamed container is the dataset universe without a tree
+  // walk; it is cleared on tree mutation, so falling back is always safe.
+  const auto all = file.toc().empty() ? file.dataset_paths() : [&] {
+    std::vector<std::string> paths;
+    paths.reserve(file.toc().size());
+    for (const auto& e : file.toc()) paths.push_back(e.path);
+    return paths;
+  }();
   if (cfg_.use_random_locations) return all;
   // "all sublocations inside a location will be corrupted": expand each
   // configured location (dataset or group path) to the datasets under it.
@@ -113,11 +120,15 @@ InjectionReport Corrupter::corrupt(mh5::File& file, const ModelContext* ctx) {
 InjectionReport Corrupter::corrupt_file(const std::string& in_path,
                                         const std::string& out_path,
                                         const ModelContext* ctx) {
-  mh5::File f = mh5::File::load(in_path);
+  // Open lazily: only the datasets the injections actually land in are
+  // faulted into memory, and save_patched copies every untouched payload
+  // range verbatim from the source file — the corruption cycle costs bytes
+  // proportional to what was hit, not to checkpoint size.
+  mh5::File f = mh5::File::load_lazy(in_path);
   InjectionReport report = corrupt(f, ctx);
   report.log.set_meta("target_file", in_path);
   if (out_path != in_path) report.log.set_meta("output_file", out_path);
-  f.save(out_path);
+  f.save_patched(out_path);
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace ckptfi::core {
@@ -48,6 +49,14 @@ CheckpointDiff diff_checkpoints(const mh5::File& a, const mh5::File& b) {
       d.changed = d.elements;
       diff.total_changed += d.changed;
       diff.datasets.push_back(std::move(d));
+      continue;
+    }
+
+    // Checksum fast path: equal CRCs mean equal payloads, and for
+    // lazily-loaded files the CRC comes straight from the TOC — identical
+    // datasets are skipped without either payload ever being faulted in.
+    if (da.checksum() == db.checksum()) {
+      obs::counter_add("diff.datasets_skipped_crc");
       continue;
     }
 

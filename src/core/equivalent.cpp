@@ -1,5 +1,8 @@
 #include "core/equivalent.hpp"
 
+#include <set>
+
+#include "obs/obs.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 
@@ -11,6 +14,9 @@ ReplayStats replay_injection_log(const InjectionLog& log, mh5::File& target,
                                  ReplayMode mode, std::uint64_t seed) {
   ReplayStats stats;
   Rng rng(seed);
+  // On a lazily-opened target only the datasets the log actually lands in
+  // get faulted into memory; track them so runs can assert that footprint.
+  std::set<std::string> touched;
 
   // Canonical param -> (target path, dims, kind).
   struct Target {
@@ -36,6 +42,7 @@ ReplayStats replay_injection_log(const InjectionLog& log, mh5::File& target,
                 rec.canonical_param + "'");
     const Target& t = it->second;
     mh5::Dataset& ds = target.dataset(t.path);
+    touched.insert(t.path);
 
     std::uint64_t stored_idx;
     if (mode == ReplayMode::SameLogicalWeight) {
@@ -77,6 +84,10 @@ ReplayStats replay_injection_log(const InjectionLog& log, mh5::File& target,
     }
     ++stats.replayed;
     stats.log.add(std::move(out));
+  }
+  if (obs::metrics_enabled()) {
+    obs::counter_add("equivalent.replays");
+    obs::counter_add("equivalent.datasets_touched", touched.size());
   }
   stats.log.set_meta("replayed_from", log.meta("framework"));
   stats.log.set_meta("framework", adapter.name());

@@ -28,8 +28,10 @@ ModelContext ExperimentRunner::make_context(nn::Model& model) const {
 }
 
 mh5::File ExperimentRunner::clone_bytes(
-    const std::vector<std::uint8_t>& bytes) const {
-  return mh5::File::deserialize(bytes);
+    const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) const {
+  // O(tree) clone: payloads stay in the shared snapshot buffer until a
+  // consumer (corrupter, resume) actually touches each dataset.
+  return mh5::File::deserialize_lazy(bytes);
 }
 
 void ExperimentRunner::load_into(nn::Model& model,
@@ -40,16 +42,17 @@ void ExperimentRunner::load_into(nn::Model& model,
 void ExperimentRunner::cache_baseline_snapshot() {
   obs::Span span("experiment.serialize", "serialize",
                  "experiment.serialize_time");
-  auto& bytes = ckpt_cache_[baseline_epoch_] =
-      adapter_
-          ->checkpoint_to_file(*baseline_model_, cfg_.precision_bits,
-                               static_cast<std::int64_t>(baseline_epoch_))
-          .serialize();
+  const auto& bytes = ckpt_cache_[baseline_epoch_] =
+      std::make_shared<const std::vector<std::uint8_t>>(
+          adapter_
+              ->checkpoint_to_file(*baseline_model_, cfg_.precision_bits,
+                                   static_cast<std::int64_t>(baseline_epoch_))
+              .serialize());
   obs::counter_add("experiment.ckpts_snapshotted");
   if (obs::events_enabled()) {
     Json f = Json::object();
     f["epoch"] = baseline_epoch_;
-    f["bytes"] = bytes.size();
+    f["bytes"] = bytes->size();
     f["framework"] = cfg_.framework;
     f["model"] = cfg_.model;
     obs::emit_event("checkpoint_saved", f);

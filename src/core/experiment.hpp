@@ -89,7 +89,8 @@ class ExperimentRunner {
   std::map<std::string, std::vector<double>> weights_of(const mh5::File& ckpt);
 
  private:
-  mh5::File clone_bytes(const std::vector<std::uint8_t>& bytes) const;
+  mh5::File clone_bytes(
+      const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) const;
   void load_into(nn::Model& model, const mh5::File& ckpt) const;
 
   void cache_baseline_snapshot();
@@ -100,11 +101,14 @@ class ExperimentRunner {
   std::unique_ptr<data::DataLoader> train_loader_;
   std::vector<nn::Batch> test_batches_;
   // One continuous clean training, advanced lazily; snapshots cached per
-  // epoch as serialized checkpoint bytes.
+  // epoch as serialized checkpoint bytes. Shared ownership lets every clone
+  // handed out by checkpoint_at() lazily fault datasets in from the same
+  // buffer instead of decoding the whole checkpoint up front.
   std::unique_ptr<nn::Model> baseline_model_;
   std::unique_ptr<nn::Trainer> baseline_trainer_;
   std::size_t baseline_epoch_ = 0;
-  std::map<std::size_t, std::vector<std::uint8_t>> ckpt_cache_;
+  std::map<std::size_t, std::shared_ptr<const std::vector<std::uint8_t>>>
+      ckpt_cache_;
   std::optional<nn::TrainResult> clean_resume_;
 };
 

@@ -110,7 +110,9 @@ void FrameworkAdapter::load_from_file(nn::Model& model,
 
 void FrameworkAdapter::load_checkpoint(nn::Model& model,
                                        const std::string& path) const {
-  const mh5::File f = mh5::File::load(path);
+  // Lazy open: only datasets the model actually maps are faulted in, so
+  // auxiliary payloads riding along in a checkpoint cost no I/O here.
+  const mh5::File f = mh5::File::load_lazy(path);
   load_from_file(model, f);
 }
 

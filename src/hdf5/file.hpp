@@ -1,38 +1,86 @@
 // mh5 file: a rooted Node tree plus binary (de)serialization.
 //
-// File layout (all little-endian):
-//   magic "MH5F" | u32 version | node
-//   node      := u8 kind(0 group,1 dataset) | attrs | body
-//   attrs     := u32 count | { str name | u8 type(0 i64,1 f64,2 str) | value }
-//   group     := u32 nchildren | { str name | node }
-//   dataset   := u8 dtype | u32 ndim | u64 dims[] | u64 nbytes | bytes | u32 crc
-//   str       := u32 len | bytes
+// Two on-disk formats (byte-level spec in docs/MH5_FORMAT.md):
+//   v1 — monolithic: every dataset's payload is inlined into the node tree.
+//   v2 — streaming: the tree holds only headers; payloads follow
+//        sequentially and a trailing table-of-contents maps each dataset
+//        path to {offset, nbytes, crc32}, so datasets can be loaded lazily
+//        and rewritten (save_patched) without touching clean payloads.
+// Writers emit v2; readers accept both via the version switch.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "hdf5/io.hpp"
 #include "hdf5/node.hpp"
 
 namespace ckptfi::mh5 {
 
-/// An open mh5 document. Unlike HDF5 the whole tree lives in memory; save()
-/// writes it back atomically (temp file + rename).
+/// One v2 table-of-contents row: where a dataset's payload lives.
+struct TocEntry {
+  std::string path;           ///< full dataset path ("predictor/conv1_1/W")
+  std::uint64_t offset = 0;   ///< absolute payload offset in the container
+  std::uint64_t nbytes = 0;   ///< payload length
+  std::uint32_t crc = 0;      ///< CRC-32 of the payload bytes
+};
+
+/// An open mh5 document. Unlike HDF5 the whole *tree* lives in memory;
+/// dataset payloads live in memory too unless the file was opened with
+/// load_lazy()/deserialize_lazy(), in which case they fault in from the
+/// backing Source on first access. save() writes back atomically
+/// (temp file + rename).
 class File {
  public:
+  static constexpr std::uint32_t kVersionV1 = 1;
+  static constexpr std::uint32_t kVersionV2 = 2;
+
   File() : root_(std::make_unique<Node>()) {}
 
-  /// Load from disk; throws FormatError on corruption (CRC mismatch, bad
-  /// magic, truncation).
+  /// Load from disk, eagerly decoding every dataset (v1 or v2); throws
+  /// FormatError on corruption (CRC mismatch, bad magic, truncation).
   static File load(const std::string& path);
 
-  /// Serialize to disk.
+  /// Open a v2 container without reading dataset payloads: the returned
+  /// File's Datasets fault their bytes in from the file on first access
+  /// (CRC-verified then; a mismatch throws FormatError at that point).
+  /// v1 containers fall back to an eager load.
+  static File load_lazy(const std::string& path);
+
+  /// Serialize to disk (streamed through a FileSink; atomic temp + rename).
   void save(const std::string& path) const;
 
+  /// Like save(), but payloads of clean source-backed datasets (loaded via
+  /// load_lazy()/deserialize_lazy() and never mutated) are block-copied
+  /// verbatim from the backing source — never decoded, re-encoded or even
+  /// faulted into memory. After a corruption run that touched one dataset,
+  /// the rewrite cost is proportional to the bytes actually dirtied.
+  void save_patched(const std::string& path) const;
+
   // In-memory (de)serialization, used by save/load and by tests.
-  std::vector<std::uint8_t> serialize() const;
+  std::vector<std::uint8_t> serialize() const;                   ///< v2 bytes
+  std::vector<std::uint8_t> serialize_v1() const;                ///< legacy
   static File deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// Lazy in-memory variant: shares ownership of `bytes` and faults
+  /// datasets in on demand — cloning a cached checkpoint costs O(tree), not
+  /// O(payload). v1 bytes fall back to an eager decode.
+  static File deserialize_lazy(
+      std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+
+  /// Magic-check a file on disk and return its format version (1 or 2)
+  /// without parsing the tree.
+  static std::uint32_t probe_version(const std::string& path);
+
+  /// Integrity-check every dataset payload of a container against its
+  /// stored CRC; returns one "path: reason" line per failure (empty = ok).
+  /// Structural corruption (bad magic/TOC/truncation) still throws.
+  static std::vector<std::string> verify(const std::string& path);
+
+  /// The table of contents this File was loaded from. Empty for in-memory
+  /// trees and v1 loads; cleared when the tree shape changes.
+  const std::vector<TocEntry>& toc() const { return toc_; }
 
   Node& root() { return *root_; }
   const Node& root() const { return *root_; }
@@ -74,7 +122,11 @@ class File {
   std::uint64_t total_entries() const;
 
  private:
+  static File parse_v2(std::shared_ptr<Source> src, bool lazy);
+  void write_v2(Sink& sink) const;
+
   std::unique_ptr<Node> root_;
+  std::vector<TocEntry> toc_;  ///< as loaded; empty for in-memory trees
 };
 
 }  // namespace ckptfi::mh5

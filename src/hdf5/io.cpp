@@ -1,0 +1,120 @@
+#include "hdf5/io.hpp"
+
+#include <cstring>
+
+#include "util/common.hpp"
+
+namespace ckptfi::mh5 {
+
+void BufferSink::write(const void* data, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), b, b + n);
+}
+
+FileSink::FileSink(std::string path, std::size_t buffer_cap)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  f_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (f_ == nullptr) throw Error("mh5: cannot write '" + tmp_path_ + "'");
+  buf_.reserve(buffer_cap);
+}
+
+FileSink::~FileSink() {
+  if (committed_) return;
+  if (f_ != nullptr) std::fclose(f_);
+  std::remove(tmp_path_.c_str());
+}
+
+void FileSink::flush_buffer() {
+  if (buf_.empty()) return;
+  if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size())
+    throw Error("mh5: write failed for '" + tmp_path_ + "'");
+  buf_.clear();
+}
+
+void FileSink::write(const void* data, std::size_t n) {
+  require(f_ != nullptr && !committed_, "FileSink: write after commit");
+  // Large writes bypass the buffer (one syscall either way); small ones
+  // coalesce so attribute/header traffic does not fwrite byte-by-byte.
+  if (n >= buf_.capacity()) {
+    flush_buffer();
+    if (std::fwrite(data, 1, n, f_) != n)
+      throw Error("mh5: write failed for '" + tmp_path_ + "'");
+  } else {
+    if (buf_.size() + n > buf_.capacity()) flush_buffer();
+    const auto* b = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  written_ += n;
+}
+
+void FileSink::commit() {
+  require(f_ != nullptr && !committed_, "FileSink: double commit");
+  flush_buffer();
+  const bool flushed = std::fflush(f_) == 0;
+  std::fclose(f_);
+  f_ = nullptr;
+  if (!flushed) {
+    std::remove(tmp_path_.c_str());
+    throw Error("mh5: write failed for '" + tmp_path_ + "'");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw Error("mh5: rename failed for '" + path_ + "'");
+  }
+  committed_ = true;
+}
+
+namespace {
+void check_range(std::uint64_t offset, std::size_t n, std::uint64_t size) {
+  if (offset > size || n > size - offset)
+    throw FormatError("mh5: read past end of source");
+}
+}  // namespace
+
+void MemorySource::read_at(std::uint64_t offset, void* out,
+                           std::size_t n) const {
+  check_range(offset, n, size_);
+  std::memcpy(out, data_ + offset, n);
+}
+
+SharedBufferSource::SharedBufferSource(
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes)
+    : bytes_(std::move(bytes)) {
+  require(bytes_ != nullptr, "SharedBufferSource: null buffer");
+}
+
+void SharedBufferSource::read_at(std::uint64_t offset, void* out,
+                                 std::size_t n) const {
+  check_range(offset, n, bytes_->size());
+  std::memcpy(out, bytes_->data() + offset, n);
+}
+
+FileSource::FileSource(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (f_ == nullptr) throw Error("mh5: cannot open '" + path + "'");
+  if (std::fseek(f_, 0, SEEK_END) != 0) {
+    std::fclose(f_);
+    throw Error("mh5: cannot seek '" + path + "'");
+  }
+  const long end = std::ftell(f_);
+  if (end < 0) {
+    std::fclose(f_);
+    throw Error("mh5: cannot seek '" + path + "'");
+  }
+  size_ = static_cast<std::uint64_t>(end);
+}
+
+FileSource::~FileSource() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileSource::read_at(std::uint64_t offset, void* out, std::size_t n) const {
+  check_range(offset, n, size_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0)
+    throw FormatError("mh5: seek failed in '" + path_ + "'");
+  if (std::fread(out, 1, n, f_) != n)
+    throw FormatError("mh5: short read in '" + path_ + "'");
+}
+
+}  // namespace ckptfi::mh5

@@ -1,0 +1,153 @@
+// Streaming byte I/O for the mh5 container: Sink (sequential write) and
+// Source (random-access read) plus concrete file / in-memory variants.
+//
+// The (de)serializers in file.cpp are written against these interfaces, so
+// one writer services both the in-memory `serialize()` path (BufferSink) and
+// the atomic on-disk `save()` path (FileSink: buffered temp file + rename),
+// and one reader services eager loads, lazy dataset fault-in (FileSource
+// with seek) and in-memory deserialization (MemorySource/SharedBufferSource).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ckptfi::mh5 {
+
+/// Sequential write target. Writers only append; `tell()` is the number of
+/// bytes written so far (== the offset the next write lands at).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const void* data, std::size_t n) = 0;
+  virtual std::uint64_t tell() const = 0;
+};
+
+/// Sink appending to a caller-owned byte vector.
+class BufferSink final : public Sink {
+ public:
+  explicit BufferSink(std::vector<std::uint8_t>& out) : out_(out) {}
+  void write(const void* data, std::size_t n) override;
+  std::uint64_t tell() const override { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Buffered sink writing to `path + ".tmp"`; `commit()` flushes and atomically
+/// renames onto `path`. Destruction without commit removes the temp file, so
+/// a failed save never leaves a partial checkpoint behind.
+class FileSink final : public Sink {
+ public:
+  static constexpr std::size_t kDefaultBufferCap = 1u << 18;  // 256 KiB
+
+  /// Throws Error when the temp file cannot be opened.
+  explicit FileSink(std::string path,
+                    std::size_t buffer_cap = kDefaultBufferCap);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const void* data, std::size_t n) override;
+  std::uint64_t tell() const override { return written_; }
+
+  /// Flush, close and rename the temp file onto the destination path.
+  /// Throws Error on any I/O failure; the sink is unusable afterwards.
+  void commit();
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* f_ = nullptr;
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t written_ = 0;
+  bool committed_ = false;
+};
+
+/// Random-access read source. `read_at` fills exactly `n` bytes or throws
+/// FormatError (a short read of a checkpoint is always a malformed file).
+class Source {
+ public:
+  virtual ~Source() = default;
+  virtual std::uint64_t size() const = 0;
+  virtual void read_at(std::uint64_t offset, void* out,
+                       std::size_t n) const = 0;
+};
+
+/// Non-owning view over a byte range (the caller keeps it alive).
+class MemorySource final : public Source {
+ public:
+  MemorySource(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  std::uint64_t size() const override { return size_; }
+  void read_at(std::uint64_t offset, void* out, std::size_t n) const override;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+};
+
+/// Owning variant: shares a byte buffer, so lazily loaded Files can outlive
+/// the caller's copy of the bytes (the experiment runner's checkpoint cache).
+class SharedBufferSource final : public Source {
+ public:
+  explicit SharedBufferSource(
+      std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  std::uint64_t size() const override { return bytes_->size(); }
+  void read_at(std::uint64_t offset, void* out, std::size_t n) const override;
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes_;
+};
+
+/// Seekable file source. One open handle per source; read_at is serialized
+/// with a mutex so shared_ptr<Source> can be shared across lazy datasets.
+class FileSource final : public Source {
+ public:
+  /// Throws Error when the file cannot be opened.
+  explicit FileSource(const std::string& path);
+  ~FileSource() override;
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  std::uint64_t size() const override { return size_; }
+  void read_at(std::uint64_t offset, void* out, std::size_t n) const override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t size_ = 0;
+  mutable std::mutex mu_;
+};
+
+/// Little-endian primitive encoder over any Sink (the writer half of the
+/// mh5 wire grammar; see docs/MH5_FORMAT.md).
+class SinkWriter {
+ public:
+  explicit SinkWriter(Sink& sink) : sink_(sink) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* p, std::size_t n) { sink_.write(p, n); }
+  std::uint64_t tell() const { return sink_.tell(); }
+
+ private:
+  Sink& sink_;
+};
+
+}  // namespace ckptfi::mh5

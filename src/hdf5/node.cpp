@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/registry.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 #include "util/crc32.hpp"
@@ -19,14 +20,58 @@ Dataset::Dataset(DType dtype, std::vector<std::uint64_t> dims)
   raw_.assign(nelem_ * dtype_size(dtype_), 0);
 }
 
+Dataset::Dataset(DType dtype, std::vector<std::uint64_t> dims, DeferPayload)
+    : Dataset(dtype, std::move(dims)) {
+  raw_.clear();
+  raw_.shrink_to_fit();
+  materialized_ = false;
+}
+
 void Dataset::check_index(std::uint64_t i) const {
   if (i >= nelem_)
     throw InvalidArgument("Dataset: index " + std::to_string(i) +
                           " out of range (n=" + std::to_string(nelem_) + ")");
 }
 
+void Dataset::bind_source(std::shared_ptr<Source> source, std::uint64_t offset,
+                          std::uint64_t nbytes, std::uint32_t crc) {
+  require(source != nullptr, "Dataset::bind_source: null source");
+  if (nbytes != nelem_ * dtype_size(dtype_))
+    throw FormatError("mh5: dataset byte count mismatch");
+  source_ = std::move(source);
+  src_offset_ = offset;
+  src_nbytes_ = nbytes;
+  src_crc_ = crc;
+  materialized_ = false;
+  dirty_ = false;
+  crc_cache_.reset();
+  raw_.clear();
+  raw_.shrink_to_fit();
+}
+
+void Dataset::ensure_materialized() const {
+  if (materialized_) return;
+  if (source_ == nullptr)
+    throw Error("mh5: dataset payload was never bound to a source");
+  raw_.resize(src_nbytes_);
+  source_->read_at(src_offset_, raw_.data(), raw_.size());
+  if (crc32(raw_.data(), raw_.size()) != src_crc_)
+    throw FormatError("mh5: dataset CRC mismatch");
+  // The bytes just verified against the stored CRC, so cache it directly.
+  crc_cache_ = src_crc_;
+  materialized_ = true;
+  obs::counter_add("mh5.lazy_faults");
+  obs::counter_add("mh5.bytes_faulted_in", raw_.size());
+}
+
+void Dataset::detach_source() {
+  ensure_materialized();
+  source_.reset();
+}
+
 std::uint64_t Dataset::element_bits(std::uint64_t i) const {
   check_index(i);
+  ensure_materialized();
   const std::size_t sz = dtype_size(dtype_);
   std::uint64_t repr = 0;
   std::memcpy(&repr, raw_.data() + i * sz, sz);
@@ -35,6 +80,8 @@ std::uint64_t Dataset::element_bits(std::uint64_t i) const {
 
 void Dataset::set_element_bits(std::uint64_t i, std::uint64_t repr) {
   check_index(i);
+  ensure_materialized();
+  touch();
   const std::size_t sz = dtype_size(dtype_);
   std::memcpy(raw_.data() + i * sz, &repr, sz);
 }
@@ -122,7 +169,11 @@ void Dataset::write_doubles(const std::vector<double>& v) {
 }
 
 std::uint32_t Dataset::checksum() const {
-  return crc32(raw_.data(), raw_.size());
+  // A never-faulted-in lazy dataset answers from its TOC entry — no payload
+  // read just to learn a checksum the file already stores.
+  if (!materialized_) return src_crc_;
+  if (!crc_cache_) crc_cache_ = crc32(raw_.data(), raw_.size());
+  return *crc_cache_;
 }
 
 Dataset& Node::dataset() {

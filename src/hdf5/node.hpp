@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "hdf5/dtype.hpp"
+#include "hdf5/io.hpp"
 
 namespace ckptfi::mh5 {
 
@@ -22,9 +24,23 @@ using AttrValue = std::variant<std::int64_t, double, std::string>;
 /// A typed N-dimensional array. Elements are stored contiguously in row-major
 /// order as raw little-endian bytes, so the fault injector can operate on the
 /// exact on-disk bit representation.
+///
+/// A Dataset can be *lazy*: constructed from just its header (dtype/dims)
+/// with the payload left in a Source (see bind_source). The bytes fault in
+/// on first access, verifying the TOC CRC; metadata accessors (dtype, dims,
+/// num_elements, checksum) never touch the payload. Fault-in mutates
+/// `mutable` state from const accessors and is NOT thread-safe — share a
+/// lazily loaded File across threads only after materializing it.
 class Dataset {
  public:
+  /// Tag for the header-only constructor used by the streaming reader.
+  struct DeferPayload {};
+
   Dataset(DType dtype, std::vector<std::uint64_t> dims);
+
+  /// Header-only: no payload allocation; the reader must bind_source()
+  /// before the payload is accessed (access before binding throws).
+  Dataset(DType dtype, std::vector<std::uint64_t> dims, DeferPayload);
 
   DType dtype() const { return dtype_; }
   const std::vector<std::uint64_t>& dims() const { return dims_; }
@@ -33,9 +49,45 @@ class Dataset {
   /// Product of dims (number of elements).
   std::uint64_t num_elements() const { return nelem_; }
 
-  /// Raw storage (size = num_elements() * dtype_size(dtype)).
-  std::vector<std::uint8_t>& raw() { return raw_; }
-  const std::vector<std::uint8_t>& raw() const { return raw_; }
+  /// Raw storage (size = num_elements() * dtype_size(dtype)). The non-const
+  /// overload assumes the caller mutates: it marks the dataset dirty and
+  /// drops the cached checksum.
+  std::vector<std::uint8_t>& raw() {
+    ensure_materialized();
+    touch();
+    return raw_;
+  }
+  const std::vector<std::uint8_t>& raw() const {
+    ensure_materialized();
+    return raw_;
+  }
+
+  // --- lazy payload plumbing (used by the mh5 reader and writer) ---
+
+  /// Back this dataset's payload by `nbytes` at `offset` inside `source`,
+  /// releasing the in-memory bytes. `crc` is the stored CRC-32, verified at
+  /// fault-in time. Throws FormatError when nbytes disagrees with the
+  /// header-implied size.
+  void bind_source(std::shared_ptr<Source> source, std::uint64_t offset,
+                   std::uint64_t nbytes, std::uint32_t crc);
+
+  /// Fault the payload in from the bound source (no-op when already in
+  /// memory). Throws FormatError on CRC mismatch or short reads.
+  void materialize() const { ensure_materialized(); }
+  bool is_materialized() const { return materialized_; }
+
+  /// True when the payload has (potentially) been mutated since it was
+  /// bound to a source; save_patched() re-serializes only dirty datasets.
+  bool is_dirty() const { return dirty_; }
+
+  /// Source-range backing, if any: {offset, nbytes} inside source().
+  bool has_source() const { return source_ != nullptr; }
+  const std::shared_ptr<Source>& source() const { return source_; }
+  std::uint64_t source_offset() const { return src_offset_; }
+  std::uint64_t source_nbytes() const { return src_nbytes_; }
+
+  /// Drop the source binding (payload must already be in memory).
+  void detach_source();
 
   // --- bit-level element access (the injector's view) ---
 
@@ -59,17 +111,33 @@ class Dataset {
   /// Bulk write from doubles (size must equal num_elements()).
   void write_doubles(const std::vector<double>& v);
 
-  /// CRC-32 of the raw bytes (used for file integrity and for ablation
-  /// comparisons between injection strategies).
+  /// CRC-32 of the raw bytes (used for file integrity, TOC emission and for
+  /// skip-identical fast paths in core/diff). Cached: recomputed only after
+  /// a mutation, and answered straight from the stored TOC CRC for lazy
+  /// datasets that were never faulted in.
   std::uint32_t checksum() const;
 
  private:
   void check_index(std::uint64_t i) const;
+  void ensure_materialized() const;
+  /// Mark mutated: drop the cached checksum and set the dirty flag.
+  void touch() {
+    crc_cache_.reset();
+    dirty_ = true;
+  }
 
   DType dtype_;
   std::vector<std::uint64_t> dims_;
   std::uint64_t nelem_;
-  std::vector<std::uint8_t> raw_;
+  mutable std::vector<std::uint8_t> raw_;
+  // Source backing (lazy payloads + verbatim copy in save_patched).
+  std::shared_ptr<Source> source_;
+  std::uint64_t src_offset_ = 0;
+  std::uint64_t src_nbytes_ = 0;
+  std::uint32_t src_crc_ = 0;
+  mutable bool materialized_ = true;
+  bool dirty_ = false;
+  mutable std::optional<std::uint32_t> crc_cache_;
 };
 
 /// A tree node: either a group (with ordered children) or a dataset. Both

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <set>
 
+#include "obs/registry.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 
@@ -372,6 +373,51 @@ TEST(Corrupter, LogRecordsMatchFileMutations) {
     }
   }
   EXPECT_EQ(replay.serialize(), f.serialize());
+}
+
+TEST(Corrupter, LazyCorruptionCycleFaultsInOnlyTheTargetedDataset) {
+  // The streaming-I/O acceptance bar: corrupting one dataset of a
+  // multi-dataset checkpoint must deserialize only that dataset's payload,
+  // and the rewrite must copy every other payload verbatim.
+  namespace fs = std::filesystem;
+  const std::string in =
+      (fs::temp_directory_path() / "corrupter_lazy_in.h5").string();
+  const std::string out =
+      (fs::temp_directory_path() / "corrupter_lazy_out.h5").string();
+  sample_file().save(in);
+
+  const bool metrics_were_on = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  auto counter = [](const char* name) {
+    return obs::Registry::global().counter(name).value();
+  };
+  const auto faulted0 = counter("mh5.bytes_faulted_in");
+  const auto faults0 = counter("mh5.lazy_faults");
+  const auto verbatim0 = counter("mh5.bytes_copied_verbatim");
+
+  CorrupterConfig cfg = base_config();
+  cfg.injection_attempts = 5;
+  cfg.use_random_locations = false;
+  cfg.locations_to_corrupt = {"model/layer2/W"};
+  Corrupter c(cfg);
+  const InjectionReport rep = c.corrupt_file(in, out);
+  obs::set_metrics_enabled(metrics_were_on);
+  EXPECT_EQ(rep.injections, 5u);
+
+  // layer2/W is 8 F64 elements = 64 bytes: the only payload deserialized.
+  EXPECT_EQ(counter("mh5.bytes_faulted_in") - faulted0, 64u);
+  EXPECT_EQ(counter("mh5.lazy_faults") - faults0, 1u);
+  // layer1/W (16 F64 = 128 bytes) + meta/steps (2 I64 = 16 bytes) streamed
+  // through save_patched without ever being decoded.
+  EXPECT_EQ(counter("mh5.bytes_copied_verbatim") - verbatim0, 128u + 16u);
+
+  const mh5::File orig = mh5::File::load(in);
+  const mh5::File corrupted = mh5::File::load(out);
+  EXPECT_GE(count_diffs(orig, corrupted), 1u);
+  EXPECT_EQ(corrupted.dataset("model/layer1/W").read_doubles(),
+            orig.dataset("model/layer1/W").read_doubles());
+  fs::remove(in);
+  fs::remove(out);
 }
 
 }  // namespace
