@@ -4,6 +4,10 @@
 // checkpoint with {10,100,500,1000} bit-flips (exponent MSB excluded) and
 // their accuracy trajectory is compared against the error-free training
 // (the paper's green line). Each line averages `trainings` runs.
+//
+// Per-(panel, rate) campaigns fan out on core::TrialScheduler (--jobs N);
+// per-trial trajectories land in index-addressed slots and the average is
+// reduced in index order, so the printed curve is --jobs-independent.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/strings.hpp"
@@ -16,6 +20,7 @@ int main(int argc, char** argv) {
   opt.resume_epochs = 0;  // resume to total_epochs for the full curve
   bench::print_banner("Figure 3: sensitivity to different bit-flip rates",
                       opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   const std::vector<std::pair<std::string, std::string>> panels = {
       {"chainer", "resnet50"}, {"pytorch", "vgg16"}, {"tensorflow", "alexnet"}};
@@ -36,7 +41,8 @@ int main(int argc, char** argv) {
       return hdr;
     }());
 
-    // Error-free resumed line (the paper's full-training green line).
+    // Error-free resumed line (the paper's full-training green line);
+    // computed before the fan-out, so trials share a warm checkpoint cache.
     {
       const nn::TrainResult& clean = runner.clean_resume();
       std::vector<std::string> row = {"error-free"};
@@ -47,21 +53,48 @@ int main(int argc, char** argv) {
     }
 
     for (const std::uint64_t rate : rates) {
+      const std::string cell =
+          framework + "/" + model + "/" + std::to_string(rate);
+      std::vector<std::vector<double>> curves(opt.trainings);
+      std::vector<Json> rows(opt.trainings);
+      bench::make_scheduler(opt, cell).run(
+          opt.trainings, [&](const core::TrialContext& trial) {
+            mh5::File ckpt = runner.restart_checkpoint();
+            core::CorrupterConfig cc;
+            cc.injection_attempts = static_cast<double>(rate);
+            cc.corruption_mode = core::CorruptionMode::BitRange;
+            cc.first_bit = 0;
+            cc.last_bit = 61;  // exponent MSB excluded (paper Section V-C)
+            cc.seed = trial.seed;
+            core::Corrupter corrupter(cc);
+            core::InjectionReport rep = corrupter.corrupt(ckpt);
+            const nn::TrainResult res = runner.resume_training(ckpt);
+            auto& curve = curves[trial.index];
+            curve.reserve(res.epochs.size());
+            for (const auto& s : res.epochs)
+              curve.push_back(s.test_accuracy);
+            if (trials_out.enabled()) {
+              Json row = Json::object();
+              row["cell"] = cell;
+              row["trial"] = trial.index;
+              // Decimal string: Json's number type is int64, which would
+              // render large uint64 seeds negative.
+              row["seed"] = std::to_string(trial.seed);
+              Json accs = Json::array();
+              for (const double a : curve) accs.push_back(a);
+              row["curve"] = std::move(accs);
+              row["log"] = rep.log.to_json();
+              rows[trial.index] = std::move(row);
+            }
+          });
+      trials_out.flush_cell(rows);
+      // Index-order reduction keeps the averaged curve independent of how
+      // the trials were scheduled.
       std::vector<double> acc_sum(epochs, 0.0);
       std::vector<std::size_t> acc_n(epochs, 0);
-      for (std::size_t t = 0; t < opt.trainings; ++t) {
-        mh5::File ckpt = runner.restart_checkpoint();
-        core::CorrupterConfig cc;
-        cc.injection_attempts = static_cast<double>(rate);
-        cc.corruption_mode = core::CorruptionMode::BitRange;
-        cc.first_bit = 0;
-        cc.last_bit = 61;  // exponent MSB excluded (paper Section V-C)
-        cc.seed = opt.seed * 389 + t * 11 + rate;
-        core::Corrupter corrupter(cc);
-        corrupter.corrupt(ckpt);
-        const nn::TrainResult res = runner.resume_training(ckpt);
-        for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e) {
-          acc_sum[e] += res.epochs[e].test_accuracy;
+      for (const auto& curve : curves) {
+        for (std::size_t e = 0; e < curve.size() && e < epochs; ++e) {
+          acc_sum[e] += curve[e];
           acc_n[e] += 1;
         }
       }

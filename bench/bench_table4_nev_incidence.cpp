@@ -4,6 +4,11 @@
 // `trainings` corrupted trainings (full bit range, NaN allowed) and count
 // how many collapse with N-EV. The paper's shape: incidence rises from
 // <0.5% at 1 flip to ~100% at 1000 flips; VGG16 is the least affected.
+//
+// Trials within a cell are independent, so the cell fans out on
+// core::TrialScheduler (--jobs N); per-trial seeds come from
+// trial_seed(campaign, index), making --jobs 8 bitwise-identical to
+// --jobs 1 (verify with --trials-out and diff).
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "frameworks/framework.hpp"
@@ -15,6 +20,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table IV: N-EV incidence at 64-bit precision", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
   core::TextTable table(
@@ -23,22 +29,42 @@ int main(int argc, char** argv) {
   for (const auto& framework : fw::framework_names()) {
     for (const auto& model : models::model_names()) {
       core::ExperimentRunner runner(bench::make_config(opt, framework, model));
+      // Train the baseline and snapshot the restart checkpoint before the
+      // fan-out, so trials start from a warm immutable cache.
+      runner.restart_checkpoint();
       for (const std::uint64_t rate : rates) {
+        const std::string cell =
+            framework + "/" + model + "/" + std::to_string(rate);
+        std::vector<std::uint8_t> collapsed(opt.trainings, 0);
+        std::vector<Json> rows(opt.trainings);
+        bench::make_scheduler(opt, cell).run(
+            opt.trainings, [&](const core::TrialContext& trial) {
+              mh5::File ckpt = runner.restart_checkpoint();
+              core::CorrupterConfig cc;
+              cc.injection_attempts = static_cast<double>(rate);
+              cc.corruption_mode = core::CorruptionMode::BitRange;
+              cc.first_bit = 0;
+              cc.last_bit = 63;  // full range, critical bit included
+              cc.seed = trial.seed;
+              core::Corrupter corrupter(cc);
+              core::InjectionReport rep = corrupter.corrupt(ckpt);
+              const nn::TrainResult res =
+                  runner.resume_training(ckpt, opt.resume_epochs);
+              collapsed[trial.index] = res.collapsed ? 1 : 0;
+              if (trials_out.enabled()) {
+                Json row = Json::object();
+                row["cell"] = cell;
+                row["trial"] = trial.index;
+                row["seed"] = std::to_string(trial.seed);
+                row["collapsed"] = res.collapsed;
+                row["final_accuracy"] = res.final_accuracy;
+                row["log"] = rep.log.to_json();
+                rows[trial.index] = std::move(row);
+              }
+            });
+        trials_out.flush_cell(rows);
         std::size_t nev = 0;
-        for (std::size_t t = 0; t < opt.trainings; ++t) {
-          mh5::File ckpt = runner.restart_checkpoint();
-          core::CorrupterConfig cc;
-          cc.injection_attempts = static_cast<double>(rate);
-          cc.corruption_mode = core::CorruptionMode::BitRange;
-          cc.first_bit = 0;
-          cc.last_bit = 63;  // full range, critical bit included
-          cc.seed = opt.seed * 1000003 + t * 101 + rate;
-          core::Corrupter corrupter(cc);
-          corrupter.corrupt(ckpt);
-          const nn::TrainResult res =
-              runner.resume_training(ckpt, opt.resume_epochs);
-          nev += res.collapsed ? 1 : 0;
-        }
+        for (const auto c : collapsed) nev += c;
         table.add_row({framework, model, std::to_string(rate),
                        std::to_string(opt.trainings), std::to_string(nev),
                        format_fixed(100.0 * static_cast<double>(nev) /

@@ -13,20 +13,29 @@
 //   --restart-epoch=N  checkpointed epoch that gets corrupted (paper: 20)
 //   --resume-epochs=N  epochs trained after the corrupted restart
 //   --seed=N           master seed
+//   --jobs=N           trials in flight per experiment cell (campaign
+//                      fan-out via core::TrialScheduler; 1 = serial, the
+//                      default — and bitwise-identical to any other value)
 //   --json-out=PATH    enable the obs metrics registry and write its snapshot
 //                      as JSON to PATH when the bench exits
 //   --trace-out=PATH   enable span tracing and write Chrome trace JSON to
 //                      PATH when the bench exits (open in chrome://tracing)
+//   --trials-out=PATH  write one JSON line per trial (outcome + injection
+//                      log) — the determinism artifact: identical across
+//                      --jobs values by construction
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "core/scheduler.hpp"
 #include "obs/obs.hpp"
+#include "util/crc32.hpp"
 
 namespace ckptfi::bench {
 
@@ -39,8 +48,10 @@ struct BenchOptions {
   std::size_t restart_epoch = 2;
   std::size_t resume_epochs = 1;
   std::uint64_t seed = 42;
+  std::size_t jobs = 1;   ///< campaign fan-out (trials in flight per cell)
   std::string json_out;   ///< metrics snapshot destination ("" = don't emit)
   std::string trace_out;  ///< Chrome trace destination ("" = don't record)
+  std::string trials_out; ///< per-trial JSONL destination ("" = don't emit)
 
   /// Parse --key=value args over `defaults`; unknown keys abort with a
   /// usage message. Benches whose story needs a genuinely trained baseline
@@ -92,6 +103,10 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       std::exit(2);
     }
     const std::string key = arg.substr(2, eq - 2);
+    if (key == "trials-out") {
+      o.trials_out = arg.substr(eq + 1);
+      continue;
+    }
     if (key == "json-out" || key == "trace-out") {
       const std::string path = arg.substr(eq + 1);
       if (key == "json-out") {
@@ -127,6 +142,8 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       o.resume_epochs = val;
     } else if (key == "seed") {
       o.seed = val;
+    } else if (key == "jobs") {
+      o.jobs = val == 0 ? 1 : val;
     } else {
       std::fprintf(stderr, "unknown option --%s\n", key.c_str());
       std::exit(2);
@@ -134,6 +151,51 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
   }
   return o;
 }
+
+/// Per-cell campaign seed: the master seed mixed with the cell's identity
+/// string ("framework/model/rate"), so every cell fans out decorrelated
+/// trial streams while staying a pure function of (--seed, cell) — never of
+/// --jobs or scheduling.
+inline std::uint64_t campaign_seed(const BenchOptions& o,
+                                   const std::string& cell) {
+  return core::trial_seed(o.seed, crc32(cell.data(), cell.size()));
+}
+
+/// Scheduler for one experiment cell's trial fan-out.
+inline core::TrialScheduler make_scheduler(const BenchOptions& o,
+                                           const std::string& cell) {
+  core::TrialScheduler::Config sc;
+  sc.jobs = o.jobs;
+  sc.campaign_seed = campaign_seed(o, cell);
+  return core::TrialScheduler(sc);
+}
+
+/// JSONL sink for --trials-out. Benches fill one Json row per trial into an
+/// index-addressed vector while the campaign runs, then flush the cell in
+/// index order — so the file is bitwise independent of --jobs scheduling.
+class TrialRows {
+ public:
+  explicit TrialRows(const std::string& path) {
+    if (path.empty()) return;
+    out_.emplace(path, std::ios::trunc);
+    if (!*out_) {
+      std::fprintf(stderr, "bench: cannot write trials to '%s'\n",
+                   path.c_str());
+      std::exit(2);
+    }
+  }
+
+  bool enabled() const { return out_.has_value(); }
+
+  void flush_cell(const std::vector<Json>& rows) {
+    if (!out_) return;
+    for (const auto& row : rows) *out_ << row.dump() << "\n";
+    out_->flush();
+  }
+
+ private:
+  std::optional<std::ofstream> out_;
+};
 
 /// Per-model width: ResNet50 has ~3x the layer count, so it gets half the
 /// base width to keep bench wall-clock balanced across models.
@@ -179,9 +241,10 @@ inline void print_banner(const std::string& what, const BenchOptions& o) {
   std::printf("=== %s ===\n", what.c_str());
   std::printf(
       "scale: %zu trainings/cell, %zu train images, width %zu, "
-      "restart epoch %zu -> resume %zu epoch(s) (paper: 250 trainings, "
-      "CIFAR-10 50k, full-width models, epoch 20)\n\n",
-      o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs);
+      "restart epoch %zu -> resume %zu epoch(s), %zu job(s) "
+      "(paper: 250 trainings, CIFAR-10 50k, full-width models, epoch 20)\n\n",
+      o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs,
+      o.jobs);
 }
 
 }  // namespace ckptfi::bench

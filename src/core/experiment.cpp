@@ -60,38 +60,50 @@ void ExperimentRunner::cache_baseline_snapshot() {
 }
 
 mh5::File ExperimentRunner::checkpoint_at(std::size_t epoch) {
-  const auto hit = ckpt_cache_.find(epoch);
-  if (hit != ckpt_cache_.end()) {
-    obs::counter_add("experiment.ckpt_cache_hits");
-    return clone_bytes(hit->second);
-  }
-  obs::counter_add("experiment.ckpt_cache_misses");
+  // The lock covers cache lookup and baseline advance; the per-trial clone
+  // happens outside it, so concurrent cache hits serialize only on a map
+  // find. The snapshot buffers are immutable once cached, safe to share.
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  {
+    std::lock_guard lock(baseline_mu_);
+    const auto hit = ckpt_cache_.find(epoch);
+    if (hit != ckpt_cache_.end()) {
+      obs::counter_add("experiment.ckpt_cache_hits");
+      bytes = hit->second;
+    } else {
+      obs::counter_add("experiment.ckpt_cache_misses");
 
-  obs::Span span("experiment.baseline", "baseline",
-                 "experiment.baseline_time");
-  if (baseline_model_ == nullptr) {
-    baseline_model_ = make_model();
-    nn::TrainConfig tc;
-    tc.epochs = 1;  // advanced one epoch at a time below
-    tc.sgd = cfg_.sgd;
-    baseline_trainer_ =
-        std::make_unique<nn::Trainer>(*baseline_model_, tc);
-    baseline_epoch_ = 0;
-    cache_baseline_snapshot();
+      obs::Span span("experiment.baseline", "baseline",
+                     "experiment.baseline_time");
+      if (baseline_model_ == nullptr) {
+        baseline_model_ = make_model();
+        nn::TrainConfig tc;
+        tc.epochs = 1;  // advanced one epoch at a time below
+        tc.sgd = cfg_.sgd;
+        baseline_trainer_ =
+            std::make_unique<nn::Trainer>(*baseline_model_, tc);
+        baseline_epoch_ = 0;
+        cache_baseline_snapshot();
+      }
+      // Every epoch <= baseline_epoch_ is already cached, so the request is
+      // for the future: advance the continuous training, snapshotting each
+      // epoch.
+      while (baseline_epoch_ < epoch) {
+        obs::Span epoch_span("experiment.baseline_epoch", "baseline",
+                             "trainer.epoch_time");
+        baseline_trainer_->train_epoch(
+            train_loader_->batches(baseline_epoch_));
+        ++baseline_epoch_;
+        cache_baseline_snapshot();
+      }
+      bytes = ckpt_cache_.at(epoch);
+    }
   }
-  // Every epoch <= baseline_epoch_ is already cached, so the request is for
-  // the future: advance the continuous training, snapshotting each epoch.
-  while (baseline_epoch_ < epoch) {
-    obs::Span epoch_span("experiment.baseline_epoch", "baseline",
-                         "trainer.epoch_time");
-    baseline_trainer_->train_epoch(train_loader_->batches(baseline_epoch_));
-    ++baseline_epoch_;
-    cache_baseline_snapshot();
-  }
-  return clone_bytes(ckpt_cache_.at(epoch));
+  return clone_bytes(bytes);
 }
 
 const nn::TrainResult& ExperimentRunner::clean_resume() {
+  std::lock_guard lock(clean_mu_);
   if (!clean_resume_) {
     const mh5::File ckpt = restart_checkpoint();
     clean_resume_ = resume_training(ckpt);

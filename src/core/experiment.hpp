@@ -6,11 +6,21 @@
 // experiment cells do not retrain their baseline. All trainings are
 // deterministic: identical seeds and schedules produce bit-identical runs,
 // which is what makes "restarted with no change in accuracy" measurable.
+//
+// Thread-safety: one runner may be shared by concurrent TrialScheduler
+// trials. The mutating paths (baseline advance + snapshot cache in
+// checkpoint_at, the clean_resume memo) serialize internally; everything a
+// trial does per-iteration — checkpoint_at on a cached epoch, resume_training,
+// predict, predict_subset, weights_of — builds trial-local models, trainers
+// and batch vectors over const shared state (config, adapter, dataset,
+// immutable serialized snapshots), so trials never contend outside those two
+// short critical sections.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -110,6 +120,11 @@ class ExperimentRunner {
   std::map<std::size_t, std::shared_ptr<const std::vector<std::uint8_t>>>
       ckpt_cache_;
   std::optional<nn::TrainResult> clean_resume_;
+  /// Guards baseline_{model_,trainer_,epoch_} and ckpt_cache_.
+  std::mutex baseline_mu_;
+  /// Guards the clean_resume_ memo. Separate from baseline_mu_ because
+  /// computing it calls checkpoint_at (which takes baseline_mu_).
+  std::mutex clean_mu_;
 };
 
 }  // namespace ckptfi::core

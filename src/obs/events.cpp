@@ -8,6 +8,19 @@ namespace detail {
 std::atomic<bool> g_events_enabled{false};
 }  // namespace detail
 
+namespace {
+// Trial attribution for the calling thread; -1 = outside any trial.
+thread_local std::int64_t t_trial_index = -1;
+}  // namespace
+
+ScopedTrialIndex::ScopedTrialIndex(std::size_t index) : prev_(t_trial_index) {
+  t_trial_index = static_cast<std::int64_t>(index);
+}
+
+ScopedTrialIndex::~ScopedTrialIndex() { t_trial_index = prev_; }
+
+std::int64_t ScopedTrialIndex::current() { return t_trial_index; }
+
 void set_events_enabled(bool on) {
   if (on) EventLog::global();  // pin the epoch before the first event
   detail::g_events_enabled.store(on, std::memory_order_relaxed);
@@ -42,6 +55,7 @@ void EventLog::emit(std::string_view type, Json fields) {
   Json e = Json::object();
   e["ts_ms"] = ts_ms;
   e["type"] = std::string(type);
+  if (t_trial_index >= 0) e["trial"] = t_trial_index;
   if (fields.is_object()) {
     for (const auto& [k, v] : fields.members()) e[k] = v;
   }

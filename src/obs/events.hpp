@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -64,5 +65,25 @@ class EventLog {
 
 /// Hot-path helper: no-op (one relaxed load) when events are disabled.
 void emit_event(std::string_view type, Json fields = Json());
+
+/// While alive, every event emitted from the constructing thread carries a
+/// {"trial": index} field — how campaign fan-out (core::TrialScheduler)
+/// keeps interleaved parallel trials attributable in the JSONL stream.
+/// Nests: the previous index is restored on destruction. Thread-local, so
+/// concurrent trials on different pool workers do not see each other.
+class ScopedTrialIndex {
+ public:
+  explicit ScopedTrialIndex(std::size_t index);
+  ~ScopedTrialIndex();
+
+  ScopedTrialIndex(const ScopedTrialIndex&) = delete;
+  ScopedTrialIndex& operator=(const ScopedTrialIndex&) = delete;
+
+  /// The calling thread's current trial index, or -1 outside any trial.
+  static std::int64_t current();
+
+ private:
+  std::int64_t prev_;
+};
 
 }  // namespace ckptfi::obs

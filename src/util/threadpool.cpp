@@ -1,12 +1,32 @@
 #include "util/threadpool.hpp"
 
-#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 
 #include "obs/registry.hpp"
 
 namespace ckptfi {
+
+namespace {
+
+// Which pool (if any) owns the calling thread. Written once per worker at
+// startup; in_worker() compares against it to detect re-entrant calls.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+// Fork/join state for one parallel_for call. Heap-allocated and shared with
+// every chunk task so it outlives the caller's stack frame: a chunk that
+// finishes last may still be touching mu/cv after a fast caller has already
+// observed remaining == 0 and returned (the pre-fix use-after-scope).
+struct ForkJoin {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -28,20 +48,25 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_worker() const { return t_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
-      if (obs::metrics_enabled()) {
-        obs::gauge_set("threadpool.queue_depth",
-                       static_cast<double>(tasks_.size()));
-      }
+      depth = tasks_.size();
     }
+    // Publish the depth sampled under the lock only after releasing it: the
+    // registry takes its own shared lock, and holding mu_ across that would
+    // serialize every pop through the obs subsystem.
+    obs::gauge_set("threadpool.queue_depth", static_cast<double>(depth));
     if (obs::metrics_enabled()) {
       const auto t0 = std::chrono::steady_clock::now();
       task();
@@ -56,63 +81,86 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+    depth = tasks_.size();
+  }
+  cv_.notify_one();
+  obs::gauge_set("threadpool.queue_depth", static_cast<double>(depth));
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t nchunks = std::min(n, workers_.size());
-  if (nchunks <= 1) {
+  // Re-entrant calls run inline: a worker blocking on chunks it enqueued
+  // would deadlock once every worker is parked in such a join.
+  if (nchunks <= 1 || in_worker()) {
     fn(0, n);
     return;
   }
   const std::size_t chunk = (n + nchunks - 1) / nchunks;
-
-  std::atomic<std::size_t> remaining{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
 
   std::size_t issued = 0;
   for (std::size_t c = 0; c < nchunks; ++c) {
     if (c * chunk >= n) break;
     ++issued;
   }
-  remaining.store(issued);
 
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t begin = c * chunk;
-    if (begin >= n) break;
-    const std::size_t end = std::min(begin + chunk, n);
-    std::function<void()> task = [&, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        std::lock_guard lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mu);
-        done_cv.notify_all();
-      }
-    };
-    {
-      std::lock_guard lock(mu_);
-      tasks_.push(std::move(task));
-      if (obs::metrics_enabled()) {
-        obs::gauge_set("threadpool.queue_depth",
-                       static_cast<double>(tasks_.size()));
-      }
+  auto join = std::make_shared<ForkJoin>();
+  join->remaining = issued;
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t c = 0; c < issued; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      // fn outlives the tasks (the caller blocks below until remaining == 0,
+      // which is set only after every chunk ran), so capture by reference;
+      // the join state is shared so a late notifier never touches a dead
+      // frame.
+      tasks_.push([join, &fn, begin, end] {
+        std::exception_ptr err;
+        try {
+          fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        bool last = false;
+        {
+          std::lock_guard jl(join->mu);
+          if (err && !join->first_error) join->first_error = err;
+          last = (--join->remaining == 0);
+        }
+        if (last) join->cv.notify_all();
+      });
     }
+    depth = tasks_.size();
+  }
+  if (issued > 1) {
+    cv_.notify_all();
+  } else {
     cv_.notify_one();
   }
+  obs::gauge_set("threadpool.queue_depth", static_cast<double>(depth));
 
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock lock(join->mu);
+  join->cv.wait(lock, [&] { return join->remaining == 0; });
+  if (join->first_error) std::rethrow_exception(join->first_error);
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("CKPTFI_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};  // hardware_concurrency
+  }());
   return pool;
 }
 

@@ -17,7 +17,8 @@
 namespace ckptfi {
 
 /// Fixed-size worker pool. Tasks are arbitrary closures; parallel_for is the
-/// primary entry point.
+/// primary entry point, submit() feeds coarse-grained campaign work (see
+/// core::TrialScheduler).
 class ThreadPool {
  public:
   /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
@@ -29,13 +30,28 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. parallel_for
+  /// consults this to run nested calls inline: a worker that enqueued chunks
+  /// and blocked on their completion could deadlock the pool once every
+  /// worker sits in such a join with nobody left to run the chunks.
+  bool in_worker() const;
+
+  /// Enqueue one task for asynchronous execution. The task must not outlive
+  /// anything it captures by reference; completion signalling is the
+  /// caller's business.
+  void submit(std::function<void()> task);
+
   /// Run fn(begin, end) over [0, n) split into size() contiguous chunks and
   /// block until all complete. Chunk boundaries depend only on n and size(),
   /// never on timing. Exceptions from workers are rethrown on the caller.
+  /// Called from inside one of this pool's workers, runs fn(0, n) inline.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide pool (lazily constructed).
+  /// Process-wide pool (lazily constructed). Sized from the environment
+  /// variable CKPTFI_THREADS when set to a positive integer, else from
+  /// hardware_concurrency() — the override lets campaign benches and the
+  /// TSan CI job exercise real fan-out on small containers.
   static ThreadPool& global();
 
  private:
@@ -49,7 +65,8 @@ class ThreadPool {
 };
 
 /// Convenience: ThreadPool::global().parallel_for(n, fn) — but runs inline
-/// when n is small enough that fork/join overhead dominates.
+/// when n is small enough that fork/join overhead dominates (or when called
+/// from a global-pool worker, see ThreadPool::in_worker).
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -97,5 +97,104 @@ TEST(ParallelForHelper, LargeRangeCovered) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+// --- stress: the completion-handshake and re-entrancy paths ---
+
+// Many short rounds hammer the fork/join handshake: each round's join state
+// dies as soon as the caller returns, so a notifier touching it after a
+// spurious caller wake-up is a use-after-scope (the pre-fix bug; TSan flags
+// it even when it doesn't crash).
+TEST(ThreadPoolStress, ManyShortRounds) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500u * 8u);
+}
+
+TEST(ThreadPoolStress, ThrowingTasksManyRounds) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    // Every chunk throws: the join must still drain all of them and the
+    // caller must get exactly one exception per round.
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t, std::size_t) {
+                                     throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+  }
+  // The pool is still alive and usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+// A parallel_for issued from inside a worker of the same pool must run
+// inline: enqueuing and blocking would deadlock once every worker sits in a
+// nested join with no one left to execute the chunks.
+TEST(ThreadPoolStress, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) {
+        inner_hits.fetch_add(ie - ib, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_hits.load(), 4u * 16u);
+}
+
+// The free helper must also fall back to inline when the calling thread is a
+// global-pool worker (a scheduler trial whose tensor op fans out).
+TEST(ThreadPoolStress, FreeHelperNestedInGlobalWorkerCompletes) {
+  constexpr std::size_t kBig = 4096;  // above kInlineThreshold
+  std::atomic<std::size_t> hits{0};
+  ThreadPool::global().parallel_for(
+      ThreadPool::global().size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          parallel_for(kBig, [&](std::size_t ib, std::size_t ie) {
+            hits.fetch_add(ie - ib, std::memory_order_relaxed);
+          });
+        }
+      });
+  EXPECT_EQ(hits.load(), ThreadPool::global().size() * kBig);
+}
+
+// n straddling the helper's inline threshold: both sides must cover the
+// range exactly once.
+TEST(ThreadPoolStress, AroundInlineThreshold) {
+  for (std::size_t n : {2047u, 2048u, 2049u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i]++;
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "n=" << n;
+  }
+}
+
+TEST(ThreadPoolStress, SubmitExecutesEveryTask) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done.load() == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
 }  // namespace
 }  // namespace ckptfi
