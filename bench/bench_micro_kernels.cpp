@@ -1,0 +1,267 @@
+// Microbenchmarks of the compute kernels, naive vs fast backend.
+//
+// Every benchmark comes in a pair pinning one side of the backend split
+// via set_kernel_backend (see docs/KERNELS.md): the reference direct-loop
+// kernels against the blocked/arena GEMM and im2col+GEMM convolution, both
+// measured through the dispatched entry points exactly as CKPTFI_KERNELS
+// selects them. Shapes cover the sizes the paper's models actually run
+// — LeNet/AlexNet-scale conv blocks and classifier GEMMs — plus tiny
+// shapes, where the dispatcher's flop threshold routes fast straight back
+// to naive and the pair should tie.
+//
+// Each benchmark also reports the kernel obs instrumentation it moved
+// (kernels.gemm_time / kernels.im2col_time histograms, arena gauges) from
+// one untimed probe run, so the counters never sit in the hot loop.
+//
+// Pass --json-out=PATH (stripped before Google Benchmark sees the args) to
+// enable the metrics registry for the whole run and dump its snapshot as
+// JSON at exit — the EXPERIMENTS.md speedup table comes from this binary.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
+#include "util/rng.hpp"
+
+using namespace ckptfi;
+
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.vec()) v = rng.normal();
+  return t;
+}
+
+/// Publish the arena gauges after an untimed probe run of `fn`, so a
+/// --json-out snapshot records the scratch footprint next to the timings.
+template <typename Fn>
+void probe_arena(benchmark::State& state, Fn&& fn) {
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  fn();
+  Workspace& ws = Workspace::tls();
+  state.counters["arena_bytes"] =
+      benchmark::Counter(static_cast<double>(ws.bytes_reserved()));
+  state.counters["arena_high_water"] =
+      benchmark::Counter(static_cast<double>(ws.high_water()));
+  obs::set_metrics_enabled(was_enabled);
+}
+
+// --------------------------------------------------------------------------
+// GEMM: C[m,n] = A[m,k] * B[k,n]. Arg is the square size; 8 covers the
+// under-threshold tiny case, 256 the classifier layers.
+
+template <KernelBackend Backend>
+void gemm_bench(benchmark::State& state) {
+  set_kernel_backend(Backend);
+  const auto s = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = random_tensor({s, s}, rng);
+  const Tensor b = random_tensor({s, s}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * s * s * s));
+  if (Backend == KernelBackend::kFast)
+    probe_arena(state, [&] { matmul(a, b, c); });
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  gemm_bench<KernelBackend::kNaive>(state);
+}
+BENCHMARK(BM_GemmNaive)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_GemmFast(benchmark::State& state) {
+  gemm_bench<KernelBackend::kFast>(state);
+}
+BENCHMARK(BM_GemmFast)->Arg(8)->Arg(64)->Arg(256);
+
+// --------------------------------------------------------------------------
+// Convolution forward/backward at three scales:
+//   Arg 0: tiny   — 1x2x6x6,  co=2, below the fast flop threshold
+//   Arg 1: lenet  — 8x6x16x16, co=16 (the repro's LeNet block at width 6)
+//   Arg 2: alex   — 8x16x16x16, co=32 (AlexNet mid-block at bench width)
+
+struct ConvCase {
+  std::size_t n, ci, hw, co;
+};
+
+ConvCase conv_case(std::int64_t idx) {
+  static const ConvCase cases[] = {
+      {1, 2, 6, 2}, {8, 6, 16, 16}, {8, 16, 16, 32}};
+  return cases[idx];
+}
+
+void conv_inputs(const ConvCase& c, Tensor& x, Tensor& w, Tensor& b) {
+  Rng rng(2);
+  x = random_tensor({c.n, c.ci, c.hw, c.hw}, rng);
+  w = random_tensor({c.co, c.ci, 3, 3}, rng);
+  b = random_tensor({c.co}, rng);
+}
+
+template <KernelBackend Backend>
+void conv_forward_bench(benchmark::State& state) {
+  set_kernel_backend(Backend);
+  const ConvCase c = conv_case(state.range(0));
+  Tensor x, w, b, y;
+  conv_inputs(c, x, w, b);
+  const ConvSpec spec{3, 1, 1};
+  for (auto _ : state) {
+    conv2d_forward(x, w, b, spec, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const std::size_t ho = spec.out_extent(c.hw);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * c.n * c.co * ho * ho * c.ci * 9));
+}
+
+void BM_ConvForwardNaive(benchmark::State& state) {
+  conv_forward_bench<KernelBackend::kNaive>(state);
+}
+BENCHMARK(BM_ConvForwardNaive)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ConvForwardFast(benchmark::State& state) {
+  conv_forward_bench<KernelBackend::kFast>(state);
+  const ConvCase c = conv_case(state.range(0));
+  Tensor x, w, b, y;
+  conv_inputs(c, x, w, b);
+  probe_arena(state,
+              [&] { conv2d_forward(x, w, b, ConvSpec{3, 1, 1}, y); });
+}
+BENCHMARK(BM_ConvForwardFast)->Arg(0)->Arg(1)->Arg(2);
+
+template <KernelBackend Backend>
+void conv_backward_bench(benchmark::State& state) {
+  set_kernel_backend(Backend);
+  const ConvCase c = conv_case(state.range(0));
+  Tensor x, w, b;
+  conv_inputs(c, x, w, b);
+  const ConvSpec spec{3, 1, 1};
+  const std::size_t ho = spec.out_extent(c.hw);
+  Rng rng(3);
+  const Tensor dy = random_tensor({c.n, c.co, ho, ho}, rng);
+  Tensor dx(x.shape()), dw(w.shape()), db({c.co});
+  for (auto _ : state) {
+    conv2d_backward(x, w, spec, dy, dx, dw, db);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * c.n * c.co * ho * ho * c.ci * 9));
+}
+
+void BM_ConvBackwardNaive(benchmark::State& state) {
+  conv_backward_bench<KernelBackend::kNaive>(state);
+}
+BENCHMARK(BM_ConvBackwardNaive)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ConvBackwardFast(benchmark::State& state) {
+  conv_backward_bench<KernelBackend::kFast>(state);
+}
+BENCHMARK(BM_ConvBackwardFast)->Arg(0)->Arg(1)->Arg(2);
+
+// --------------------------------------------------------------------------
+// The transposed GEMMs the backward pass leans on, at classifier-layer size.
+
+void BM_GemmAtNaive(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor a = random_tensor({256, 128}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kNaive);
+  for (auto _ : state) {
+    matmul_at(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmAtNaive);
+
+void BM_GemmAtFast(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor a = random_tensor({256, 128}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kFast);
+  for (auto _ : state) {
+    matmul_at(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmAtFast);
+
+void BM_GemmBtNaive(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor a = random_tensor({128, 64}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kNaive);
+  for (auto _ : state) {
+    matmul_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBtNaive);
+
+void BM_GemmBtFast(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor a = random_tensor({128, 64}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kFast);
+  for (auto _ : state) {
+    matmul_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBtFast);
+
+std::string g_json_out;
+
+void write_metrics_snapshot() {
+  std::ofstream out(g_json_out, std::ios::trunc);
+  if (out) {
+    out << obs::Registry::global().to_json().dump(2) << "\n";
+  } else {
+    std::fprintf(stderr, "bench_micro_kernels: cannot write metrics to '%s'\n",
+                 g_json_out.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off --json-out=PATH before Google Benchmark parses the args (it
+  // aborts on flags it does not know). The flag enables the obs metrics
+  // registry for the whole run and dumps its snapshot as JSON at exit.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      g_json_out = arg.substr(std::string("--json-out=").size());
+      obs::set_metrics_enabled(true);
+      std::atexit(write_metrics_snapshot);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -105,6 +105,47 @@ void BM_Serialize(benchmark::State& state) {
 }
 BENCHMARK(BM_Serialize)->Arg(256)->Arg(4096)->Arg(65536);
 
+/// To-disk "before": materialize the full v2 byte vector, then write it out.
+/// This is the intermediate copy File::serialize_into() exists to remove.
+void BM_SaveMaterialized(benchmark::State& state) {
+  const mh5::File f =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0)));
+  const std::string path = "bench_micro_mh5_save.mh5";
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = f.serialize();
+    bytes = buf.size();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  probe_obs_counters(state, {"mh5.bytes_serialized"}, [&] {
+    const auto buf = f.serialize();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  });
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SaveMaterialized)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// To-disk "after": save() streams through serialize_into(FileSink) — no
+/// intermediate vector, atomic temp + rename included.
+void BM_SaveStreamed(benchmark::State& state) {
+  const mh5::File f =
+      make_tree(8, 4, static_cast<std::uint64_t>(state.range(0)));
+  const std::string path = "bench_micro_mh5_save.mh5";
+  for (auto _ : state) {
+    f.save(path);
+  }
+  probe_obs_counters(state, {"mh5.bytes_serialized", "mh5.bytes_written"},
+                     [&] { f.save(path); });
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SaveStreamed)->Arg(256)->Arg(4096)->Arg(65536);
+
 void BM_Deserialize(benchmark::State& state) {
   const auto bytes =
       make_tree(8, 4, static_cast<std::uint64_t>(state.range(0))).serialize();

@@ -4,6 +4,12 @@
 // (Bautista-Gomez et al., SC'16). Each mask is applied to 10 weights per
 // training; AvgI-Acc is the average initial accuracy over the trainings that
 // did not collapse, and N-EV counts the collapsed ones.
+//
+// Trials within a mask cell are independent, so each cell fans out on
+// core::TrialScheduler (--jobs N); per-trial seeds come from
+// trial_seed(campaign, index), making --jobs 8 bitwise-identical to
+// --jobs 1 (verify with --trials-out and diff). The error-free baseline is
+// deterministic and runs once, outside the scheduler.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "frameworks/framework.hpp"
@@ -15,6 +21,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table VI: multi-bit masks on ResNet50", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   struct MaskRow {
     int bits;
@@ -31,36 +38,64 @@ int main(int argc, char** argv) {
   for (const auto& framework : fw::framework_names()) {
     core::ExperimentRunner runner(
         bench::make_config(opt, framework, "resnet50"));
+    // Train the baseline and snapshot the restart checkpoint before the
+    // fan-out, so trials start from a warm immutable cache.
+    runner.restart_checkpoint();
     for (const auto& row : masks) {
+      const bool baseline = row.bits == 0;
+      const std::size_t trials = baseline ? 1 : opt.trainings;
+      const std::string cell =
+          framework + "/resnet50/mask" + (baseline ? "baseline" : row.mask);
+      std::vector<std::uint8_t> collapsed(trials, 0);
+      std::vector<double> accs(trials, 0.0);
+      std::vector<Json> rows(trials);
+      bench::make_scheduler(opt, cell).run(
+          trials, [&](const core::TrialContext& trial) {
+            mh5::File ckpt = runner.restart_checkpoint();
+            Json log;
+            if (!baseline) {
+              core::CorrupterConfig cc;
+              cc.corruption_mode = core::CorruptionMode::BitMask;
+              cc.bit_mask = row.mask;
+              cc.injection_attempts = 10;  // 10 weights/training (paper)
+              cc.seed = trial.seed;
+              core::Corrupter corrupter(cc);
+              const core::InjectionReport rep = corrupter.corrupt(ckpt);
+              log = rep.log.to_json();
+            }
+            const nn::TrainResult res = runner.resume_training(ckpt, 1);
+            collapsed[trial.index] = res.collapsed ? 1 : 0;
+            if (!res.collapsed)
+              accs[trial.index] = res.epochs.front().test_accuracy;
+            if (trials_out.enabled()) {
+              Json r = Json::object();
+              r["cell"] = cell;
+              r["trial"] = trial.index;
+              r["seed"] = std::to_string(trial.seed);
+              r["collapsed"] = res.collapsed;
+              r["final_accuracy"] = res.final_accuracy;
+              r["log"] = log;
+              rows[trial.index] = std::move(r);
+            }
+          });
+      trials_out.flush_cell(rows);
       double acc_sum = 0.0;
       std::size_t acc_count = 0, nev = 0;
-      for (std::size_t t = 0; t < opt.trainings; ++t) {
-        mh5::File ckpt = runner.restart_checkpoint();
-        if (row.bits > 0) {
-          core::CorrupterConfig cc;
-          cc.corruption_mode = core::CorruptionMode::BitMask;
-          cc.bit_mask = row.mask;
-          cc.injection_attempts = 10;  // 10 weights per training (paper)
-          cc.seed = opt.seed * 31 + t * 7 + static_cast<std::uint64_t>(row.bits);
-          core::Corrupter corrupter(cc);
-          corrupter.corrupt(ckpt);
-        }
-        const nn::TrainResult res = runner.resume_training(ckpt, 1);
-        if (res.collapsed) {
+      for (std::size_t t = 0; t < trials; ++t) {
+        if (collapsed[t]) {
           ++nev;  // excluded from the average, as in the paper
         } else {
-          acc_sum += res.epochs.front().test_accuracy;
+          acc_sum += accs[t];
           ++acc_count;
         }
-        if (row.bits == 0) break;  // baseline is deterministic; run once
       }
       const double avg =
           acc_count > 0 ? 100.0 * acc_sum / static_cast<double>(acc_count)
                         : 0.0;
       table.add_row({std::to_string(row.bits),
-                     row.bits == 0 ? "00000000" : row.mask, framework,
+                     baseline ? "00000000" : row.mask, framework,
                      format_fixed(avg, 1), std::to_string(nev),
-                     std::to_string(row.bits == 0 ? 1 : opt.trainings)});
+                     std::to_string(trials)});
     }
     std::printf(".");
     std::fflush(stdout);

@@ -1,6 +1,11 @@
 // Table VII: incidence of NaN and extreme values at 16- and 32-bit
 // checkpoint precision (Chainer, all three models; the 64-bit column is
 // Table IV / bench_table4).
+//
+// Each precision x model x rate cell fans its trials out on
+// core::TrialScheduler (--jobs N); per-trial seeds come from
+// trial_seed(campaign, index), making --jobs 8 bitwise-identical to
+// --jobs 1 (verify with --trials-out and diff).
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/strings.hpp"
@@ -12,6 +17,7 @@ int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner(
       "Table VII: N-EV incidence at 16/32-bit precision (chainer)", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
   core::TextTable table(
@@ -21,24 +27,42 @@ int main(int argc, char** argv) {
     for (const auto& model : models::model_names()) {
       core::ExperimentRunner runner(
           bench::make_config(opt, "chainer", model, precision));
+      runner.restart_checkpoint();  // warm the immutable cache pre-fan-out
       for (const std::uint64_t rate : rates) {
+        const std::string cell = "chainer/" + model + "/p" +
+                                 std::to_string(precision) + "/" +
+                                 std::to_string(rate);
+        std::vector<std::uint8_t> collapsed(opt.trainings, 0);
+        std::vector<Json> rows(opt.trainings);
+        bench::make_scheduler(opt, cell).run(
+            opt.trainings, [&](const core::TrialContext& trial) {
+              mh5::File ckpt = runner.restart_checkpoint();
+              core::CorrupterConfig cc;
+              cc.float_precision = precision;
+              cc.injection_attempts = static_cast<double>(rate);
+              cc.corruption_mode = core::CorruptionMode::BitRange;
+              cc.first_bit = 0;
+              cc.last_bit = precision - 1;  // full range at this width
+              cc.seed = trial.seed;
+              core::Corrupter corrupter(cc);
+              const core::InjectionReport rep = corrupter.corrupt(ckpt);
+              const nn::TrainResult res =
+                  runner.resume_training(ckpt, opt.resume_epochs);
+              collapsed[trial.index] = res.collapsed ? 1 : 0;
+              if (trials_out.enabled()) {
+                Json row = Json::object();
+                row["cell"] = cell;
+                row["trial"] = trial.index;
+                row["seed"] = std::to_string(trial.seed);
+                row["collapsed"] = res.collapsed;
+                row["final_accuracy"] = res.final_accuracy;
+                row["log"] = rep.log.to_json();
+                rows[trial.index] = std::move(row);
+              }
+            });
+        trials_out.flush_cell(rows);
         std::size_t nev = 0;
-        for (std::size_t t = 0; t < opt.trainings; ++t) {
-          mh5::File ckpt = runner.restart_checkpoint();
-          core::CorrupterConfig cc;
-          cc.float_precision = precision;
-          cc.injection_attempts = static_cast<double>(rate);
-          cc.corruption_mode = core::CorruptionMode::BitRange;
-          cc.first_bit = 0;
-          cc.last_bit = precision - 1;  // full range at this width
-          cc.seed = opt.seed * 131 + t * 17 + rate +
-                    static_cast<std::uint64_t>(precision);
-          core::Corrupter corrupter(cc);
-          corrupter.corrupt(ckpt);
-          const nn::TrainResult res =
-              runner.resume_training(ckpt, opt.resume_epochs);
-          nev += res.collapsed ? 1 : 0;
-        }
+        for (const auto c : collapsed) nev += c;
         table.add_row({std::to_string(precision), model, std::to_string(rate),
                        std::to_string(opt.trainings), std::to_string(nev),
                        format_fixed(100.0 * static_cast<double>(nev) /

@@ -6,6 +6,12 @@
 // slice of the test set (the paper: 10 predictions x 1000 images each).
 // N-EV counts predictions whose logits went NaN/Inf/extreme, shown in
 // parentheses as in the paper.
+//
+// Prediction trials are independent, so each cell fans out on
+// core::TrialScheduler (--jobs N); per-trial seeds come from
+// trial_seed(campaign, index), making --jobs 8 bitwise-identical to
+// --jobs 1 (verify with --trials-out and diff). The error-free baseline is
+// deterministic and runs once, outside the scheduler.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/strings.hpp"
@@ -22,6 +28,7 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "Table VIII: prediction under precision x bit-flip rate (chainer)",
       opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   const std::vector<std::uint64_t> rates = {0, 1, 10, 100, 1000};
   core::TextTable table({"precision", "model", "bit-flips", "avg-acc(%)",
@@ -33,33 +40,59 @@ int main(int argc, char** argv) {
           bench::make_config(opt, "chainer", model, precision));
       // The paper predicts from an epoch-100 (fully trained) checkpoint.
       const std::size_t trained_epoch = runner.config().total_epochs;
+      runner.checkpoint_at(trained_epoch);  // warm the cache pre-fan-out
       for (const std::uint64_t rate : rates) {
+        const bool baseline = rate == 0;
+        const std::size_t trials = baseline ? 1 : opt.trainings;
+        const std::string cell = "chainer/" + model + "/p" +
+                                 std::to_string(precision) + "/predict" +
+                                 std::to_string(rate);
+        std::vector<std::uint8_t> nev_flags(trials, 0);
+        std::vector<double> accs(trials, 0.0);
+        std::vector<Json> rows(trials);
+        bench::make_scheduler(opt, cell).run(
+            trials, [&](const core::TrialContext& trial) {
+              mh5::File ckpt = runner.checkpoint_at(trained_epoch);
+              Json log;
+              if (!baseline) {
+                core::CorrupterConfig cc;
+                cc.float_precision = precision;
+                cc.injection_attempts = static_cast<double>(rate);
+                cc.corruption_mode = core::CorruptionMode::BitRange;
+                cc.first_bit = 0;
+                cc.last_bit = precision - 2;  // spare exponent MSB:
+                                              // prediction still runs, as in
+                                              // the paper
+                cc.seed = trial.seed;
+                core::Corrupter corrupter(cc);
+                const core::InjectionReport rep = corrupter.corrupt(ckpt);
+                log = rep.log.to_json();
+              }
+              const nn::EvalResult res =
+                  runner.predict_subset(ckpt, trial.index % 2, 2);
+              nev_flags[trial.index] = res.nev ? 1 : 0;
+              if (!res.nev) accs[trial.index] = res.accuracy;
+              if (trials_out.enabled()) {
+                Json r = Json::object();
+                r["cell"] = cell;
+                r["trial"] = trial.index;
+                r["seed"] = std::to_string(trial.seed);
+                r["nev"] = res.nev;
+                r["accuracy"] = res.accuracy;
+                r["log"] = log;
+                rows[trial.index] = std::move(r);
+              }
+            });
+        trials_out.flush_cell(rows);
         double acc_sum = 0.0;
         std::size_t acc_count = 0, nev = 0;
-        for (std::size_t t = 0; t < opt.trainings; ++t) {
-          mh5::File ckpt = runner.checkpoint_at(trained_epoch);
-          if (rate > 0) {
-            core::CorrupterConfig cc;
-            cc.float_precision = precision;
-            cc.injection_attempts = static_cast<double>(rate);
-            cc.corruption_mode = core::CorruptionMode::BitRange;
-            cc.first_bit = 0;
-            cc.last_bit = precision - 2;  // spare exponent MSB: prediction
-                                          // still runs, as in the paper
-            cc.seed = opt.seed * 733 + t * 13 + rate +
-                      static_cast<std::uint64_t>(precision);
-            core::Corrupter corrupter(cc);
-            corrupter.corrupt(ckpt);
-          }
-          const nn::EvalResult res =
-              runner.predict_subset(ckpt, t % 2, 2);
-          if (res.nev) {
+        for (std::size_t t = 0; t < trials; ++t) {
+          if (nev_flags[t]) {
             ++nev;
           } else {
-            acc_sum += res.accuracy;
+            acc_sum += accs[t];
             ++acc_count;
           }
-          if (rate == 0) break;  // deterministic baseline
         }
         const std::string acc_str =
             acc_count > 0
@@ -69,7 +102,7 @@ int main(int argc, char** argv) {
                 : "-";
         table.add_row({std::to_string(precision), model, std::to_string(rate),
                        acc_str, std::to_string(nev),
-                       std::to_string(rate == 0 ? 1 : opt.trainings)});
+                       std::to_string(trials)});
       }
       std::printf(".");
       std::fflush(stdout);

@@ -35,6 +35,7 @@
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "obs/obs.hpp"
+#include "tensor/kernels.hpp"
 #include "util/crc32.hpp"
 
 namespace ckptfi::bench {
@@ -74,7 +75,13 @@ inline void write_obs_outputs() {
   if (!g_json_out.empty()) {
     std::ofstream out(g_json_out, std::ios::trunc);
     if (out) {
-      out << obs::Registry::global().to_json().dump(2) << "\n";
+      Json snap = obs::Registry::global().to_json();
+      Json events = Json::array();
+      for (auto& e : obs::EventLog::global().events()) {
+        events.push_back(std::move(e));
+      }
+      snap["events"] = std::move(events);
+      out << snap.dump(2) << "\n";
     } else {
       std::fprintf(stderr, "bench: cannot write metrics to '%s'\n",
                    g_json_out.c_str());
@@ -113,6 +120,8 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
         o.json_out = path;
         detail::g_json_out = path;
         obs::set_metrics_enabled(true);
+        obs::set_events_enabled(true);  // run_start + domain events ride
+                                        // along in the snapshot
       } else {
         o.trace_out = path;
         detail::g_trace_out = path;
@@ -236,7 +245,9 @@ inline core::ExperimentConfig make_config(const BenchOptions& o,
   return cfg;
 }
 
-/// Header block naming the experiment and the scale it runs at.
+/// Header block naming the experiment and the scale it runs at. Also emits
+/// the run-start obs event, stamped with the active kernel backend so a
+/// metrics/trace artifact records which compute path produced it.
 inline void print_banner(const std::string& what, const BenchOptions& o) {
   std::printf("=== %s ===\n", what.c_str());
   std::printf(
@@ -245,6 +256,12 @@ inline void print_banner(const std::string& what, const BenchOptions& o) {
       "(paper: 250 trainings, CIFAR-10 50k, full-width models, epoch 20)\n\n",
       o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs,
       o.jobs);
+  Json f = Json::object();
+  f["bench"] = what;
+  f["kernels.backend"] = kernel_backend_name();
+  f["jobs"] = o.jobs;
+  f["seed"] = std::to_string(o.seed);
+  obs::emit_event("run_start", std::move(f));
 }
 
 }  // namespace ckptfi::bench

@@ -308,11 +308,15 @@ void File::write_v2(Sink& sink) const {
   obs::counter_add("mh5.bytes_copied_verbatim", verbatim);
 }
 
-std::vector<std::uint8_t> File::serialize() const {
+void File::serialize_into(Sink& sink) const {
   obs::Span span("mh5.serialize", "io", "mh5.serialize_time");
+  write_v2(sink);
+}
+
+std::vector<std::uint8_t> File::serialize() const {
   std::vector<std::uint8_t> out;
   BufferSink sink(out);
-  write_v2(sink);
+  serialize_into(sink);
   return out;
 }
 
@@ -450,7 +454,7 @@ File File::load_lazy(const std::string& path) {
 void File::save(const std::string& path) const {
   obs::Span span("mh5.save", "io", "mh5.write_time");
   FileSink sink(path);
-  write_v2(sink);
+  serialize_into(sink);
   obs::counter_add("mh5.bytes_written", sink.tell());
   sink.commit();
 }
@@ -459,7 +463,7 @@ void File::save_patched(const std::string& path) const {
   obs::Span span("mh5.save_patched", "io", "mh5.write_time");
   obs::counter_add("mh5.patched_saves");
   FileSink sink(path);
-  write_v2(sink);
+  serialize_into(sink);
   obs::counter_add("mh5.bytes_written", sink.tell());
   sink.commit();
 }

@@ -58,6 +58,13 @@ class File {
   /// the rewrite cost is proportional to the bytes actually dirtied.
   void save_patched(const std::string& path) const;
 
+  /// Stream the v2 container into an arbitrary Sink — the zero-copy writer
+  /// underneath save()/save_patched()/serialize(). Callers that already hold
+  /// a Sink (sockets, files, hashers) avoid materializing the intermediate
+  /// byte vector entirely. Observes mh5.serialize_time and the
+  /// mh5.bytes_serialized / mh5.bytes_copied_verbatim counters.
+  void serialize_into(Sink& sink) const;
+
   // In-memory (de)serialization, used by save/load and by tests.
   std::vector<std::uint8_t> serialize() const;                   ///< v2 bytes
   std::vector<std::uint8_t> serialize_v1() const;                ///< legacy

@@ -69,7 +69,7 @@ Tensor Dense::forward(const Tensor& x, bool) {
               shape_to_string(x.shape()));
   x_cache_ = x;
   Tensor y;
-  gemm(x, w_, y);
+  matmul(x, w_, y);
   const std::size_t n = y.dim(0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < out_dim_; ++j) y[i * out_dim_ + j] += b_[j];
@@ -78,14 +78,14 @@ Tensor Dense::forward(const Tensor& x, bool) {
 }
 
 Tensor Dense::backward(const Tensor& dy) {
-  gemm_at_b(x_cache_, dy, dw_);
+  matmul_at(x_cache_, dy, dw_);
   db_.fill(0.0);
   const std::size_t n = dy.dim(0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < out_dim_; ++j) db_[j] += dy[i * out_dim_ + j];
   }
   Tensor dx;
-  gemm_a_bt(dy, w_, dx);
+  matmul_bt(dy, w_, dx);
   return dx;
 }
 
@@ -197,7 +197,7 @@ Tensor BatchNorm2D::forward(const Tensor& x, bool training) {
   batch_mean_.assign(c, 0.0);
   batch_inv_std_.assign(c, 0.0);
   Tensor y(x.shape());
-  x_hat_ = Tensor(x.shape());
+  x_hat_.resize(x.shape());
 
   for (std::size_t ch = 0; ch < c; ++ch) {
     double m, var;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.hpp"
+#include "tensor/workspace.hpp"
 #include "util/bitops.hpp"
 #include "util/common.hpp"
 
@@ -21,6 +22,9 @@ std::pair<double, double> Trainer::train_epoch(
     acc_sum += accuracy(logits, b.y);
     model_.backward(lr.dlogits);
     opt_.step(model_.params());
+    // Coalesce this thread's kernel arena at the batch boundary: after the
+    // first batch warmed it up, later batches run allocation-free.
+    Workspace::tls().reset();
     obs::counter_add("trainer.batches_done");
     obs::counter_add("trainer.samples_seen", b.y.size());
   }
@@ -54,6 +58,13 @@ TrainResult Trainer::fit(const BatchProvider& provider,
       obs::gauge_set("trainer.train_loss", stats.train_loss);
       obs::gauge_set("trainer.train_accuracy", stats.train_accuracy);
       obs::gauge_set("trainer.test_accuracy", stats.test_accuracy);
+      // Percentile gauges over the per-batch latency histogram, refreshed at
+      // every epoch boundary so snapshots expose the p99-vs-p50 spread
+      // directly (the allocation-spike signal the arena exists to kill).
+      const obs::Histogram& bt =
+          obs::Registry::global().histogram("trainer.batch_time");
+      obs::gauge_set("trainer.batch_time_p50", bt.percentile(0.50));
+      obs::gauge_set("trainer.batch_time_p99", bt.percentile(0.99));
       if (stats.nev) obs::counter_add("trainer.nev_epochs");
     }
     if (obs::events_enabled()) {

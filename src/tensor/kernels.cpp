@@ -1,0 +1,42 @@
+#include "tensor/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace ckptfi {
+
+namespace {
+
+KernelBackend backend_from_env() {
+  const char* env = std::getenv("CKPTFI_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelBackend::kFast;
+  const std::string v(env);
+  if (v == "fast") return KernelBackend::kFast;
+  if (v == "naive") return KernelBackend::kNaive;
+  throw InvalidArgument("CKPTFI_KERNELS must be \"naive\" or \"fast\", got \"" +
+                        v + "\"");
+}
+
+std::atomic<KernelBackend>& backend_slot() {
+  static std::atomic<KernelBackend> slot{backend_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+KernelBackend kernel_backend() {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) {
+  backend_slot().store(backend, std::memory_order_relaxed);
+}
+
+const char* kernel_backend_name() {
+  return kernel_backend() == KernelBackend::kFast ? "fast" : "naive";
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,39 @@
+// Kernel backend selection: reference (naive) vs optimised (fast) compute.
+//
+// The tensor layer ships two implementations of its hot kernels (GEMM and
+// 2-d convolution, see ops.hpp):
+//
+//   - `naive`  — the original direct-loop kernels, kept verbatim as the
+//     reference backend (ops_naive.cpp);
+//   - `fast`   — cache-blocked GEMM with panel packing and im2col/col2im
+//     convolution, parallelised over the global ThreadPool and backed by the
+//     per-thread Workspace arena (ops.cpp).
+//
+// The backend is chosen once per process from the CKPTFI_KERNELS environment
+// variable ("naive" or "fast"; unset means fast) and cached; tests and
+// benches can override it at runtime with set_kernel_backend(). Both
+// backends honour the same determinism contract — results are a pure
+// function of inputs and CKPTFI_THREADS, never of scheduling — and the fast
+// GEMM family is bitwise-identical to naive (see docs/KERNELS.md for the
+// exact equivalence guarantees per kernel).
+#pragma once
+
+namespace ckptfi {
+
+enum class KernelBackend {
+  kNaive,  ///< reference direct-loop kernels
+  kFast,   ///< blocked GEMM + im2col convolution (default)
+};
+
+/// Active backend: cached CKPTFI_KERNELS on first call, or the last
+/// set_kernel_backend() override.
+KernelBackend kernel_backend();
+
+/// Override the backend for this process (tests/benches). Not thread-safe
+/// against concurrent kernel calls — flip it between runs, not during one.
+void set_kernel_backend(KernelBackend backend);
+
+/// "naive" or "fast" — stamped on run-start obs events and bench banners.
+const char* kernel_backend_name();
+
+}  // namespace ckptfi

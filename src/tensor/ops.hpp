@@ -1,8 +1,21 @@
 // Tensor kernels: GEMM, 2-d convolution, pooling — forward and backward.
 //
-// Kernels are deterministic: loop order is fixed and parallel_for chunking is
-// a pure function of the range, so repeated runs are bit-identical (the
-// paper's methodology requires this to compare corrupted vs clean runs).
+// Kernels are deterministic: loop order is fixed and parallel chunking is a
+// pure function of the range and worker count, so repeated runs at fixed
+// CKPTFI_THREADS are bit-identical (the paper's methodology requires this to
+// compare corrupted vs clean runs).
+//
+// The GEMM family and the conv2d kernels each exist twice — a reference
+// direct-loop implementation (namespace naive, ops_naive.cpp) and a blocked /
+// im2col implementation (namespace fast, ops.cpp). The unqualified entry
+// points below dispatch on kernel_backend() (see kernels.hpp); both
+// namespaces are public so the equivalence tests and bench_micro_kernels can
+// pin one side explicitly. Equivalence contract (docs/KERNELS.md):
+//
+//   matmul / matmul_at / matmul_bt   fast ≡ naive bitwise (same per-element
+//                                    summation order and zero-skip)
+//   conv2d_forward / conv2d_backward fast ≡ naive to ≤1e-12 relative
+//                                    tolerance (im2col regroups the sums)
 #pragma once
 
 #include "tensor/tensor.hpp"
@@ -10,13 +23,14 @@
 namespace ckptfi {
 
 /// C[m,n] = A[m,k] * B[k,n]  (+ C if accumulate).
-void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            bool accumulate = false);
 
 /// C[m,n] = A[k,m]^T * B[k,n].
-void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// C[m,k] = A[m,n] * B[k,n]^T.
-void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// Parameters of a conv/pool spatial mapping.
 struct ConvSpec {
@@ -37,6 +51,31 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 /// *overwritten* (not accumulated).
 void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
                      const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db);
+
+/// Reference backend: the original direct-loop kernels, kept verbatim.
+namespace naive {
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            bool accumulate = false);
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c);
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    const ConvSpec& spec, Tensor& y);
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db);
+}  // namespace naive
+
+/// Optimised backend: k-blocked GEMM with arena-packed panels, pool
+/// parallelism over row/image chunks, im2col/col2im convolution.
+namespace fast {
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            bool accumulate = false);
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c);
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    const ConvSpec& spec, Tensor& y);
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db);
+}  // namespace fast
 
 /// Max pooling; `argmax` records the winning input offset per output (for
 /// backward).

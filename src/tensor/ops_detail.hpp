@@ -1,0 +1,35 @@
+// Internals shared by the naive and fast kernel translation units.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/ops.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::detail {
+
+struct ConvDims {
+  std::size_t n, ci, h, w, co, kh, kw, ho, wo;
+};
+
+inline ConvDims conv_dims(const Tensor& x, const Tensor& w,
+                          const ConvSpec& spec) {
+  require(x.rank() == 4, "conv2d: input must be [N,C,H,W]");
+  require(w.rank() == 4, "conv2d: weight must be [Co,Ci,kh,kw]");
+  ConvDims d;
+  d.n = x.dim(0);
+  d.ci = x.dim(1);
+  d.h = x.dim(2);
+  d.w = x.dim(3);
+  d.co = w.dim(0);
+  d.kh = w.dim(2);
+  d.kw = w.dim(3);
+  require(w.dim(1) == d.ci, "conv2d: channel mismatch");
+  require(d.kh == spec.kernel && d.kw == spec.kernel,
+          "conv2d: weight kernel size disagrees with spec");
+  d.ho = spec.out_extent(d.h);
+  d.wo = spec.out_extent(d.w);
+  return d;
+}
+
+}  // namespace ckptfi::detail

@@ -76,6 +76,12 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return t;
 }
 
+void Tensor::resize(const Shape& new_shape) {
+  if (shape_ == new_shape) return;
+  shape_ = new_shape;
+  data_.assign(shape_numel(shape_), 0.0);
+}
+
 void Tensor::fill(double v) {
   for (auto& x : data_) x = v;
 }

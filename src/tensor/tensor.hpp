@@ -57,6 +57,13 @@ class Tensor {
   /// Reinterpret with a new shape of equal numel.
   Tensor reshaped(Shape new_shape) const;
 
+  /// Take `new_shape`, zero-filling the contents on any shape change but
+  /// keeping the existing heap block when capacity suffices. Same-shape calls
+  /// are no-ops (contents preserved) — the ensure-output-shape idiom kernels
+  /// and layers use so steady-state batches re-use their activations instead
+  /// of reallocating them.
+  void resize(const Shape& new_shape);
+
   void fill(double v);
 
   /// True if any element is NaN or Inf.

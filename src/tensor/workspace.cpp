@@ -1,0 +1,71 @@
+#include "tensor/workspace.hpp"
+
+#include "obs/registry.hpp"
+
+namespace ckptfi {
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+double* Workspace::alloc(std::size_t n) {
+  // Quiescent grow: the moment the arena is empty and we learned last cycle
+  // that it was too small, regrow to the high-water mark. Growth never
+  // happens while allocations are live (their pointers must stay valid).
+  if (used_ == 0 && overflow_.empty() && buf_.size() < high_water_) {
+    buf_.assign(high_water_, 0.0);
+    ++allocations_;
+    publish_gauges();
+  }
+  if (used_ + n <= buf_.size()) {
+    double* p = buf_.data() + used_;
+    used_ += n;
+    note_high_water();
+    return p;
+  }
+  // Overflow block: exact-size, freed when its Scope unwinds. Only happens
+  // while the arena is still learning its high-water mark.
+  overflow_.emplace_back(n);
+  overflow_live_ += n;
+  ++allocations_;
+  note_high_water();
+  publish_gauges();
+  return overflow_.back().data();
+}
+
+void Workspace::reset() {
+  used_ = 0;
+  overflow_.clear();
+  overflow_live_ = 0;
+  if (buf_.size() < high_water_) {
+    buf_.assign(high_water_, 0.0);
+    ++allocations_;
+  }
+  publish_gauges();
+}
+
+std::size_t Workspace::bytes_reserved() const {
+  return (buf_.size() + overflow_live_) * sizeof(double);
+}
+
+void Workspace::rewind(std::size_t used, std::size_t overflow_count) {
+  used_ = used;
+  while (overflow_.size() > overflow_count) {
+    overflow_live_ -= overflow_.back().size();
+    overflow_.pop_back();
+  }
+}
+
+void Workspace::note_high_water() {
+  const std::size_t live = used_ + overflow_live_;
+  if (live > high_water_) high_water_ = live;
+}
+
+void Workspace::publish_gauges() const {
+  obs::gauge_set("arena.bytes_reserved",
+                 static_cast<double>(bytes_reserved()));
+  obs::gauge_set("arena.high_water", static_cast<double>(high_water()));
+}
+
+}  // namespace ckptfi

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "util/common.hpp"
 
@@ -105,6 +106,26 @@ TEST(File, SerializeRoundTrip) {
   EXPECT_EQ(std::get<std::string>(g.find("predictor")->attr("kind")), "model");
   // Round-trip is byte-stable.
   EXPECT_EQ(g.serialize(), bytes);
+}
+
+TEST(File, SerializeIntoMatchesSerialize) {
+  File f = make_sample();
+  const auto bytes = f.serialize();
+  // BufferSink target: identical bytes to the materializing path.
+  std::vector<std::uint8_t> streamed;
+  BufferSink buf(streamed);
+  f.serialize_into(buf);
+  EXPECT_EQ(streamed, bytes);
+  // FileSink target: save()'s streaming path, byte-identical on disk.
+  const std::string path = temp_path("mh5_test_serialize_into.h5");
+  FileSink sink(path);
+  f.serialize_into(sink);
+  sink.commit();
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<std::uint8_t> on_disk(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, bytes);
+  std::remove(path.c_str());
 }
 
 TEST(File, DiskSaveLoad) {

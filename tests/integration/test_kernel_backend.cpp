@@ -1,0 +1,109 @@
+// Pipeline-level contract of the fast kernel backend (docs/KERNELS.md):
+//
+//   - training under the fast backend is deterministic: two runners with
+//     identical seeds produce bitwise-identical checkpoint bytes;
+//   - the paper-table pipeline classifies trials identically under naive
+//     and fast kernels — the same corruptions collapse (N-EV) or survive,
+//     so every table in the evaluation is backend-invariant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/corrupter.hpp"
+#include "core/experiment.hpp"
+#include "tensor/kernels.hpp"
+
+namespace ckptfi::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.framework = "chainer";
+  cfg.model = "alexnet";
+  cfg.model_cfg.width = 2;
+  cfg.data_cfg.num_train = 64;
+  cfg.data_cfg.num_test = 32;
+  cfg.batch_size = 16;
+  cfg.total_epochs = 3;
+  cfg.restart_epoch = 1;
+  cfg.seed = 9;
+  return cfg;
+}
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(KernelBackend b) : prev_(kernel_backend()) {
+    set_kernel_backend(b);
+  }
+  ~BackendGuard() { set_kernel_backend(prev_); }
+
+ private:
+  KernelBackend prev_;
+};
+
+// Two independent runners, same seed, fast kernels: the trained checkpoint
+// bytes must be identical down to the last bit. This is the property the
+// paper's methodology rests on (clean vs corrupted runs are comparable),
+// and the property CKPTFI_THREADS-fixed parallel kernels must preserve.
+TEST(KernelBackendPipeline, FastCheckpointBitwiseDeterministic) {
+  BackendGuard guard(KernelBackend::kFast);
+  ExperimentRunner first(tiny_config());
+  ExperimentRunner second(tiny_config());
+  const std::vector<std::uint8_t> a = first.restart_checkpoint().serialize();
+  const std::vector<std::uint8_t> b = second.restart_checkpoint().serialize();
+  EXPECT_EQ(a, b);
+}
+
+// The same injection campaign, replayed under each backend, must classify
+// every trial the same way: collapse (N-EV) is driven by corrupted values
+// orders of magnitude outside the ulp-level naive/fast drift.
+TEST(KernelBackendPipeline, NaiveAndFastAgreeOnTrialClassification) {
+  struct Outcome {
+    bool baseline_collapsed;
+    double baseline_accuracy;
+    std::vector<bool> collapsed;
+  };
+  auto run_campaign = [](KernelBackend backend) {
+    BackendGuard guard(backend);
+    ExperimentRunner runner(tiny_config());
+    Outcome out;
+    const nn::TrainResult clean =
+        runner.resume_training(runner.restart_checkpoint(), 1);
+    out.baseline_collapsed = clean.collapsed;
+    out.baseline_accuracy = clean.final_accuracy;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      // Exponent-MSB flips: reliably collapsing, as in Fig. 2.
+      mh5::File ckpt = runner.restart_checkpoint();
+      CorrupterConfig cc;
+      cc.injection_attempts = 50;
+      cc.corruption_mode = CorruptionMode::BitRange;
+      cc.first_bit = 62;
+      cc.last_bit = 62;
+      cc.seed = seed;
+      Corrupter(cc).corrupt(ckpt);
+      out.collapsed.push_back(runner.resume_training(ckpt, 1).collapsed);
+
+      // Mantissa-only flips: reliably benign.
+      mh5::File benign = runner.restart_checkpoint();
+      cc.first_bit = 0;
+      cc.last_bit = 51;
+      Corrupter(cc).corrupt(benign);
+      out.collapsed.push_back(runner.resume_training(benign, 1).collapsed);
+    }
+    return out;
+  };
+
+  const Outcome naive = run_campaign(KernelBackend::kNaive);
+  const Outcome fast = run_campaign(KernelBackend::kFast);
+  EXPECT_EQ(naive.baseline_collapsed, fast.baseline_collapsed);
+  EXPECT_FALSE(fast.baseline_collapsed);
+  // Checkpoints differ only at ulp level between backends, so the discrete
+  // top-1 accuracy on the shared test set should rarely move; allow one
+  // borderline image to flip.
+  EXPECT_NEAR(naive.baseline_accuracy, fast.baseline_accuracy,
+              1.0 / 32 + 1e-12);
+  EXPECT_EQ(naive.collapsed, fast.collapsed);
+}
+
+}  // namespace
+}  // namespace ckptfi::core

@@ -1,0 +1,311 @@
+// Equivalence and determinism contract for the fast kernel backend
+// (docs/KERNELS.md):
+//
+//   - matmul / matmul_at / matmul_bt: fast is BITWISE identical to naive
+//     (same per-element summation order and zero-skip), at every shape —
+//     including the ones large enough to take the blocked/parallel path;
+//   - conv2d forward/backward: fast (im2col+GEMM) matches naive to <= 1e-12
+//     relative tolerance (the sums are regrouped, so only ulp-level drift);
+//   - fast kernels are deterministic at a fixed thread count: repeated calls
+//     are bitwise identical;
+//   - the Workspace arena reaches a zero-heap-allocation steady state after
+//     one warm-up cycle.
+#include "tensor/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace ckptfi {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.vec()) v = rng.normal();
+  return t;
+}
+
+/// Zeros sprinkled into `t` so the GEMM zero-skip branch is exercised.
+void sprinkle_zeros(Tensor& t, Rng& rng) {
+  for (auto& v : t.vec())
+    if (rng.uniform() < 0.15) v = 0.0;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  if (a.numel() == 0) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.numel() * sizeof(double)), 0);
+}
+
+void expect_rel_close(const Tensor& a, const Tensor& b, double tol = 1e-12) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double denom = std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    EXPECT_LE(std::abs(a[i] - b[i]), tol * denom) << "i=" << i;
+  }
+}
+
+/// Pins the backend for a test body and restores the previous one after.
+class BackendGuard {
+ public:
+  explicit BackendGuard(KernelBackend b) : prev_(kernel_backend()) {
+    set_kernel_backend(b);
+  }
+  ~BackendGuard() { set_kernel_backend(prev_); }
+
+ private:
+  KernelBackend prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Backend selection.
+
+TEST(KernelBackend, SetAndName) {
+  BackendGuard guard(KernelBackend::kNaive);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kNaive);
+  EXPECT_STREQ(kernel_backend_name(), "naive");
+  set_kernel_backend(KernelBackend::kFast);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kFast);
+  EXPECT_STREQ(kernel_backend_name(), "fast");
+}
+
+TEST(KernelBackend, DispatcherRoutesByBackend) {
+  Rng rng(11);
+  const Tensor a = random_tensor({40, 50}, rng);
+  const Tensor b = random_tensor({50, 30}, rng);
+  Tensor expect;
+  naive::matmul(a, b, expect);
+  for (const KernelBackend backend :
+       {KernelBackend::kNaive, KernelBackend::kFast}) {
+    BackendGuard guard(backend);
+    Tensor c;
+    matmul(a, b, c);
+    expect_bitwise(c, expect);  // both backends agree bitwise on GEMM
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family: fast is bitwise identical to naive.
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class GemmEquivalence : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmEquivalence, MatmulBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(101 + m + k + n);
+  Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  sprinkle_zeros(a, rng);  // zero-skip is on the A operand
+  Tensor cn, cf;
+  naive::matmul(a, b, cn);
+  fast::matmul(a, b, cf);
+  expect_bitwise(cf, cn);
+  // accumulate=true on top of an existing C.
+  Tensor base = random_tensor({m, n}, rng);
+  Tensor an = base, af = base;
+  naive::matmul(a, b, an, /*accumulate=*/true);
+  fast::matmul(a, b, af, /*accumulate=*/true);
+  expect_bitwise(af, an);
+}
+
+TEST_P(GemmEquivalence, MatmulAtBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(202 + m + k + n);
+  Tensor a = random_tensor({k, m}, rng);  // A is [k, m], used transposed
+  const Tensor b = random_tensor({k, n}, rng);
+  sprinkle_zeros(a, rng);
+  Tensor cn, cf;
+  naive::matmul_at(a, b, cn);
+  fast::matmul_at(a, b, cf);
+  expect_bitwise(cf, cn);
+}
+
+TEST_P(GemmEquivalence, MatmulBtBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(303 + m + k + n);
+  Tensor a = random_tensor({m, n}, rng);  // C[m,k] = A[m,n] * B[k,n]^T
+  const Tensor b = random_tensor({k, n}, rng);
+  Tensor cn, cf;
+  naive::matmul_bt(a, b, cn);
+  fast::matmul_bt(a, b, cf);
+  expect_bitwise(cf, cn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEquivalence,
+    ::testing::Values(GemmShape{1, 1, 1},      // single element
+                      GemmShape{7, 5, 9},      // small odd
+                      GemmShape{13, 17, 3},    // below fast threshold
+                      GemmShape{33, 70, 41},   // odd, above fast threshold
+                      GemmShape{64, 64, 64},   // pool path
+                      GemmShape{8, 301, 5},    // k > one block, odd n
+                      GemmShape{128, 300, 65},  // k-blocked + pool path
+                      GemmShape{0, 5, 4},      // empty m
+                      GemmShape{5, 0, 4},      // empty k: all-zero result
+                      GemmShape{5, 4, 0}));    // empty n
+
+// ---------------------------------------------------------------------------
+// Convolution: fast (im2col+GEMM) matches naive to <= 1e-12 relative.
+
+struct ConvShape {
+  std::size_t n, ci, h, w, co;
+  std::size_t kernel, stride, pad;
+};
+
+class ConvEquivalence : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(ConvEquivalence, ForwardRelTol) {
+  const ConvShape s = GetParam();
+  Rng rng(404 + s.h * 7 + s.kernel);
+  const Tensor x = random_tensor({s.n, s.ci, s.h, s.w}, rng);
+  const Tensor w = random_tensor({s.co, s.ci, s.kernel, s.kernel}, rng);
+  const Tensor b = random_tensor({s.co}, rng);
+  const ConvSpec spec{s.kernel, s.stride, s.pad};
+  Tensor yn, yf;
+  naive::conv2d_forward(x, w, b, spec, yn);
+  fast::conv2d_forward(x, w, b, spec, yf);
+  expect_rel_close(yf, yn);
+}
+
+TEST_P(ConvEquivalence, BackwardRelTol) {
+  const ConvShape s = GetParam();
+  Rng rng(505 + s.h * 7 + s.kernel);
+  const Tensor x = random_tensor({s.n, s.ci, s.h, s.w}, rng);
+  const Tensor w = random_tensor({s.co, s.ci, s.kernel, s.kernel}, rng);
+  const ConvSpec spec{s.kernel, s.stride, s.pad};
+  const std::size_t ho = spec.out_extent(s.h), wo = spec.out_extent(s.w);
+  Tensor dy = random_tensor({s.n, s.co, ho, wo}, rng);
+  sprinkle_zeros(dy, rng);  // naive skips zero gradients; fast must agree
+  Tensor dxn(x.shape()), dwn(w.shape()), dbn({s.co});
+  Tensor dxf(x.shape()), dwf(w.shape()), dbf({s.co});
+  naive::conv2d_backward(x, w, spec, dy, dxn, dwn, dbn);
+  fast::conv2d_backward(x, w, spec, dy, dxf, dwf, dbf);
+  expect_rel_close(dxf, dxn);
+  expect_rel_close(dwf, dwn);
+  expect_rel_close(dbf, dbn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvEquivalence,
+    ::testing::Values(
+        ConvShape{1, 1, 1, 1, 1, 1, 1, 0},    // single pixel, 1x1 kernel
+        ConvShape{2, 3, 8, 8, 4, 3, 1, 1},    // typical LeNet-ish block
+        ConvShape{1, 2, 7, 9, 3, 3, 2, 1},    // odd non-square, stride 2
+        ConvShape{2, 2, 5, 5, 3, 5, 1, 2},    // 5x5 kernel, same-pad
+        ConvShape{1, 3, 6, 6, 2, 3, 3, 0},    // stride 3, no padding
+        ConvShape{1, 1, 4, 4, 1, 3, 1, 0},    // valid conv, shrinks
+        ConvShape{1, 2, 7, 7, 2, 3, 2, 0},    // stride 2, no padding, odd
+        ConvShape{2, 4, 16, 16, 8, 3, 1, 1}));  // big enough for pool path
+
+// ---------------------------------------------------------------------------
+// Determinism: repeated fast calls are bitwise identical at a fixed thread
+// count (the pool is created once per process from CKPTFI_THREADS).
+
+TEST(KernelDeterminism, FastGemmRepeatsBitwise) {
+  Rng rng(606);
+  const Tensor a = random_tensor({96, 300}, rng);
+  const Tensor b = random_tensor({300, 64}, rng);
+  Tensor first, again;
+  fast::matmul(a, b, first);
+  for (int i = 0; i < 3; ++i) {
+    fast::matmul(a, b, again);
+    expect_bitwise(again, first);
+  }
+}
+
+TEST(KernelDeterminism, FastConvRepeatsBitwise) {
+  Rng rng(707);
+  const Tensor x = random_tensor({2, 4, 16, 16}, rng);
+  const Tensor w = random_tensor({8, 4, 3, 3}, rng);
+  const Tensor b = random_tensor({8}, rng);
+  const ConvSpec spec{3, 1, 1};
+  Tensor y0, y;
+  fast::conv2d_forward(x, w, b, spec, y0);
+  Tensor dy = random_tensor(y0.shape(), rng);
+  Tensor dx0(x.shape()), dw0(w.shape()), db0({8});
+  fast::conv2d_backward(x, w, spec, dy, dx0, dw0, db0);
+  for (int i = 0; i < 3; ++i) {
+    fast::conv2d_forward(x, w, b, spec, y);
+    expect_bitwise(y, y0);
+    Tensor dx(x.shape()), dw(w.shape()), db({8});
+    fast::conv2d_backward(x, w, spec, dy, dx, dw, db);
+    expect_bitwise(dx, dx0);
+    expect_bitwise(dw, dw0);
+    expect_bitwise(db, db0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena.
+
+TEST(Workspace, ScopeRewindsLifo) {
+  Workspace& ws = Workspace::tls();
+  ws.reset();
+  const std::size_t before = ws.used();
+  {
+    Workspace::Scope outer(ws);
+    double* a = ws.alloc(16);
+    a[0] = 1.0;
+    {
+      Workspace::Scope inner(ws);
+      double* b = ws.alloc(32);
+      b[31] = 2.0;
+      EXPECT_EQ(ws.used(), before + 48);
+    }
+    EXPECT_EQ(ws.used(), before + 16);  // inner rewound, outer alive
+    EXPECT_EQ(a[0], 1.0);               // outer allocation untouched
+  }
+  EXPECT_EQ(ws.used(), before);
+}
+
+TEST(Workspace, OverflowThenQuiescentRegrow) {
+  Workspace& ws = Workspace::tls();
+  ws.reset();
+  const std::size_t want = ws.high_water() / sizeof(double) + 4096;
+  {
+    Workspace::Scope scope(ws);
+    ws.alloc(want);  // beyond capacity: served from an overflow block
+  }
+  const std::size_t after_learning = ws.allocations();
+  // Quiescent now; the next cycle must fit the primary buffer with no new
+  // heap allocation beyond the single regrow.
+  for (int i = 0; i < 5; ++i) {
+    Workspace::Scope scope(ws);
+    ws.alloc(want);
+  }
+  EXPECT_LE(ws.allocations(), after_learning + 1);  // one regrow, then flat
+  EXPECT_GE(ws.bytes_reserved(), want * sizeof(double));
+}
+
+// After one warm-up cycle, a steady-state conv loop performs zero arena heap
+// allocations. The shape is below the pool fan-out threshold so all scratch
+// comes from this thread's arena.
+TEST(Workspace, ConvSteadyStateAllocFree) {
+  Rng rng(808);
+  const Tensor x = random_tensor({1, 2, 8, 8}, rng);
+  const Tensor w = random_tensor({4, 2, 3, 3}, rng);
+  const Tensor b = random_tensor({4}, rng);
+  const ConvSpec spec{3, 1, 1};
+  Workspace& ws = Workspace::tls();
+  Tensor y;
+  fast::conv2d_forward(x, w, b, spec, y);  // warm-up: arena learns the size
+  ws.reset();                              // batch boundary: coalesce
+  const std::size_t warm = ws.allocations();
+  for (int i = 0; i < 10; ++i) {
+    fast::conv2d_forward(x, w, b, spec, y);
+    ws.reset();
+  }
+  EXPECT_EQ(ws.allocations(), warm);  // zero heap traffic at steady state
+}
+
+}  // namespace
+}  // namespace ckptfi

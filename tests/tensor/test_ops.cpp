@@ -72,7 +72,7 @@ TEST(Gemm, MatchesNaive) {
   const Tensor a = random_tensor({7, 5}, rng);
   const Tensor b = random_tensor({5, 9}, rng);
   Tensor c;
-  gemm(a, b, c);
+  matmul(a, b, c);
   expect_close(c, naive_gemm(a, b));
 }
 
@@ -81,7 +81,7 @@ TEST(Gemm, Accumulates) {
   const Tensor a = random_tensor({3, 4}, rng);
   const Tensor b = random_tensor({4, 2}, rng);
   Tensor c({3, 2}, 1.0);
-  gemm(a, b, c, /*accumulate=*/true);
+  matmul(a, b, c, /*accumulate=*/true);
   Tensor ref = naive_gemm(a, b);
   for (auto& v : ref.vec()) v += 1.0;
   expect_close(c, ref);
@@ -92,7 +92,7 @@ TEST(Gemm, TransposedVariants) {
   const Tensor a = random_tensor({6, 4}, rng);  // k x m for at_b
   const Tensor b = random_tensor({6, 5}, rng);
   Tensor c;
-  gemm_at_b(a, b, c);
+  matmul_at(a, b, c);
   // reference: a^T * b
   Tensor at({4, 6});
   for (std::size_t i = 0; i < 6; ++i)
@@ -102,7 +102,7 @@ TEST(Gemm, TransposedVariants) {
   const Tensor d = random_tensor({7, 4}, rng);  // m x n
   const Tensor e = random_tensor({3, 4}, rng);  // k x n
   Tensor g;
-  gemm_a_bt(d, e, g);
+  matmul_bt(d, e, g);
   Tensor et({4, 3});
   for (std::size_t i = 0; i < 3; ++i)
     for (std::size_t j = 0; j < 4; ++j) et[j * 3 + i] = e[i * 4 + j];
