@@ -5,6 +5,10 @@
 // Table IV), then resume (a) unguarded, (b) with the Zero-repair guard,
 // (c) with the Clamp-repair guard. The guard should eliminate essentially
 // all collapses and restore near-baseline accuracy.
+//
+// Each (flips, mode) cell's trials fan out on core::TrialScheduler
+// (--jobs N); per-trial outcomes land in index slots and aggregates are
+// reduced in index order, so the table is bitwise independent of --jobs.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "core/protection.hpp"
@@ -23,6 +27,8 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "Ablation: N-EV guard vs critical-bit corruption (chainer/alexnet)",
       opt);
+
+  bench::TrialRows trials_out(opt.trials_out);
 
   core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
   const nn::TrainResult clean =
@@ -44,29 +50,53 @@ int main(int argc, char** argv) {
 
   for (const std::uint64_t flips : {100u, 1000u}) {
     for (const Mode& mode : modes) {
+      const std::string cell =
+          "ablation/" + std::to_string(flips) + "/" + mode.label;
+      struct TrialResult {
+        std::uint8_t collapsed = 0;
+        double accuracy = 0.0;
+      };
+      std::vector<TrialResult> outcomes(opt.trainings);
+      std::vector<Json> rows(opt.trainings);
+      bench::make_scheduler(opt, cell).run(
+          opt.trainings, [&](const core::TrialContext& trial) {
+            mh5::File ckpt = runner.restart_checkpoint();
+            core::CorrupterConfig cc;
+            cc.injection_attempts = static_cast<double>(flips);
+            cc.corruption_mode = core::CorruptionMode::BitRange;
+            cc.first_bit = 0;
+            cc.last_bit = 63;  // critical bit INCLUDED
+            cc.seed = trial.seed;
+            core::Corrupter(cc).corrupt(ckpt);
+            if (mode.guard) {
+              core::GuardConfig gc;
+              gc.action = mode.action;
+              core::guard_checkpoint(ckpt, gc);
+            }
+            const nn::TrainResult res =
+                runner.resume_training(ckpt, opt.resume_epochs);
+            outcomes[trial.index] = {res.collapsed ? std::uint8_t{1}
+                                                   : std::uint8_t{0},
+                                     res.final_accuracy};
+            if (trials_out.enabled()) {
+              Json row = Json::object();
+              row["cell"] = cell;
+              row["trial"] = trial.index;
+              row["seed"] = std::to_string(trial.seed);
+              row["collapsed"] = res.collapsed;
+              row["final_accuracy"] = res.final_accuracy;
+              rows[trial.index] = std::move(row);
+            }
+          });
+      trials_out.flush_cell(rows);
       std::size_t collapsed = 0;
       double acc_sum = 0.0;
       std::size_t acc_n = 0;
-      for (std::size_t t = 0; t < opt.trainings; ++t) {
-        mh5::File ckpt = runner.restart_checkpoint();
-        core::CorrupterConfig cc;
-        cc.injection_attempts = static_cast<double>(flips);
-        cc.corruption_mode = core::CorruptionMode::BitRange;
-        cc.first_bit = 0;
-        cc.last_bit = 63;  // critical bit INCLUDED
-        cc.seed = opt.seed * 41 + t + flips;
-        core::Corrupter(cc).corrupt(ckpt);
-        if (mode.guard) {
-          core::GuardConfig gc;
-          gc.action = mode.action;
-          core::guard_checkpoint(ckpt, gc);
-        }
-        const nn::TrainResult res =
-            runner.resume_training(ckpt, opt.resume_epochs);
-        if (res.collapsed) {
+      for (const TrialResult& r : outcomes) {
+        if (r.collapsed) {
           ++collapsed;
         } else {
-          acc_sum += res.final_accuracy;
+          acc_sum += r.accuracy;
           ++acc_n;
         }
       }

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   std::printf("=== Extension: SDC in iterative PDE solvers (Poisson 2-D) ===\n");
   std::printf("scale: %zu trials/cell\n\n", opt.trainings);
+  bench::emit_run_start("ext_solver_sdc", opt);
 
   solver::PoissonProblem problem;
   problem.n = 32;

@@ -3,6 +3,10 @@
 // The paper sweeps the corruptible bit range of the injector (1000 flips per
 // training, 170 trainings per range) and finds training collapses only when
 // the range includes the most significant exponent bit.
+//
+// Each range's trials fan out on core::TrialScheduler (--jobs N); results
+// land in index-addressed slots so every aggregate — and the --trials-out
+// JSONL — is bitwise independent of scheduling.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/bitops.hpp"
@@ -14,8 +18,8 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 2: bit ranges that collapse a network", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
-  const FloatLayout layout = float_layout(64);
   struct Range {
     const char* label;
     int first, last;
@@ -30,28 +34,42 @@ int main(int argc, char** argv) {
       {"[0,51] mantissa only", 0, 51, false},
       {"[62,62] exponent MSB only", 62, 62, true},
   };
-  (void)layout;
 
   core::TextTable table(
       {"bit range", "includes exp MSB", "trainings", "collapsed", "%"});
   core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
 
   for (const auto& range : ranges) {
+    const std::string cell = std::string("fig2/") + range.label;
+    std::vector<std::uint8_t> collapsed_flags(opt.trainings, 0);
+    std::vector<Json> rows(opt.trainings);
+    bench::make_scheduler(opt, cell).run(
+        opt.trainings, [&](const core::TrialContext& trial) {
+          mh5::File ckpt = runner.restart_checkpoint();
+          core::CorrupterConfig cc;
+          cc.injection_attempts = 1000;
+          cc.corruption_mode = core::CorruptionMode::BitRange;
+          cc.first_bit = range.first;
+          cc.last_bit = range.last;
+          cc.seed = trial.seed;
+          core::InjectionReport rep = core::Corrupter(cc).corrupt(ckpt);
+          const nn::TrainResult res =
+              runner.resume_training(ckpt, opt.resume_epochs);
+          collapsed_flags[trial.index] = res.collapsed ? 1 : 0;
+          if (trials_out.enabled()) {
+            Json row = Json::object();
+            row["cell"] = cell;
+            row["trial"] = trial.index;
+            row["seed"] = std::to_string(trial.seed);
+            row["collapsed"] = res.collapsed;
+            row["final_accuracy"] = res.final_accuracy;
+            row["flips_applied"] = rep.log.size();
+            rows[trial.index] = std::move(row);
+          }
+        });
+    trials_out.flush_cell(rows);
     std::size_t collapsed = 0;
-    for (std::size_t t = 0; t < opt.trainings; ++t) {
-      mh5::File ckpt = runner.restart_checkpoint();
-      core::CorrupterConfig cc;
-      cc.injection_attempts = 1000;
-      cc.corruption_mode = core::CorruptionMode::BitRange;
-      cc.first_bit = range.first;
-      cc.last_bit = range.last;
-      cc.seed = opt.seed * 59 + t * 3 + static_cast<std::uint64_t>(range.first);
-      core::Corrupter corrupter(cc);
-      corrupter.corrupt(ckpt);
-      const nn::TrainResult res =
-          runner.resume_training(ckpt, opt.resume_epochs);
-      collapsed += res.collapsed ? 1 : 0;
-    }
+    for (const auto f : collapsed_flags) collapsed += f;
     table.add_row({range.label, range.includes_msb ? "yes" : "no",
                    std::to_string(opt.trainings), std::to_string(collapsed),
                    format_fixed(100.0 * static_cast<double>(collapsed) /

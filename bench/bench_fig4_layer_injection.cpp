@@ -4,6 +4,10 @@
 // (fc8) layer; accuracy trajectories vs the error-free line. The paper
 // finds first-layer injection dips then recovers; middle/last barely move.
 // The generated injection logs are saved for bench_fig5 to replay.
+//
+// Trials fan out per layer on core::TrialScheduler (--jobs N); each trial
+// writes its epoch trajectory into its own index slot and the mean is
+// reduced in index order afterwards, so output is --jobs invariant.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "core/injection_log.hpp"
@@ -15,6 +19,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
   bench::print_banner("Figure 4: per-layer injection, chainer/alexnet", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
   const std::size_t epochs =
@@ -45,29 +50,51 @@ int main(int argc, char** argv) {
   core::ModelContext ctx = runner.make_context(*model);
 
   for (const auto& [label, layer] : layers) {
+    const std::string cell = "fig4/" + layer;
+    std::vector<std::vector<double>> trial_acc(opt.trainings);
+    std::vector<Json> rows(opt.trainings);
+    bench::make_scheduler(opt, cell).run(
+        opt.trainings, [&](const core::TrialContext& trial) {
+          mh5::File ckpt = runner.restart_checkpoint();
+          core::CorrupterConfig cc;
+          cc.injection_attempts = 1000;
+          cc.corruption_mode = core::CorruptionMode::BitRange;
+          cc.first_bit = 0;
+          cc.last_bit = 61;
+          cc.use_random_locations = false;
+          cc.locations_to_corrupt = {"predictor/" + layer};
+          cc.seed = trial.seed;
+          core::Corrupter corrupter(cc);
+          core::InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
+          if (trial.index == 0) {
+            // Save the first trial's log for equivalent injection (fig 5).
+            rep.log.set_meta("framework", "chainer");
+            rep.log.set_meta("model", "alexnet");
+            rep.log.save("fig4_log_" + layer + ".json");
+          }
+          const nn::TrainResult res = runner.resume_training(ckpt);
+          auto& acc = trial_acc[trial.index];
+          for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e)
+            acc.push_back(res.epochs[e].test_accuracy);
+          if (trials_out.enabled()) {
+            Json row = Json::object();
+            row["cell"] = cell;
+            row["trial"] = trial.index;
+            row["seed"] = std::to_string(trial.seed);
+            row["final_accuracy"] = res.final_accuracy;
+            Json traj = Json::array();
+            for (const double a : acc) traj.push_back(a);
+            row["accuracy"] = std::move(traj);
+            rows[trial.index] = std::move(row);
+          }
+        });
+    trials_out.flush_cell(rows);
+    // Index-order reduction: identical for every --jobs value.
     std::vector<double> acc_sum(epochs, 0.0);
     std::vector<std::size_t> acc_n(epochs, 0);
-    for (std::size_t t = 0; t < opt.trainings; ++t) {
-      mh5::File ckpt = runner.restart_checkpoint();
-      core::CorrupterConfig cc;
-      cc.injection_attempts = 1000;
-      cc.corruption_mode = core::CorruptionMode::BitRange;
-      cc.first_bit = 0;
-      cc.last_bit = 61;
-      cc.use_random_locations = false;
-      cc.locations_to_corrupt = {"predictor/" + layer};
-      cc.seed = opt.seed * 97 + t;
-      core::Corrupter corrupter(cc);
-      core::InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
-      if (t == 0) {
-        // Save the first training's log for equivalent injection (fig 5).
-        rep.log.set_meta("framework", "chainer");
-        rep.log.set_meta("model", "alexnet");
-        rep.log.save("fig4_log_" + layer + ".json");
-      }
-      const nn::TrainResult res = runner.resume_training(ckpt);
-      for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e) {
-        acc_sum[e] += res.epochs[e].test_accuracy;
+    for (const auto& acc : trial_acc) {
+      for (std::size_t e = 0; e < acc.size(); ++e) {
+        acc_sum[e] += acc[e];
         acc_n[e] += 1;
       }
     }

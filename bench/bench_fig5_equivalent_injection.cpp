@@ -4,6 +4,10 @@
 // or loaded from bench_fig4's saved logs when present) at the equivalent
 // location of PyTorch and TensorFlow checkpoints, then resumes training.
 // The paper finds the replayed flips are absorbed in both frameworks.
+//
+// The per-layer replays fan out on core::TrialScheduler (--jobs N): one
+// trial per layer, results in index slots, table rows emitted in layer
+// order — output is bitwise independent of --jobs.
 #include <filesystem>
 
 #include "bench/common.hpp"
@@ -18,6 +22,7 @@ int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
   bench::print_banner(
       "Figure 5: equivalent injection replayed in pytorch/tensorflow", opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   const std::vector<std::pair<std::string, std::string>> layers = {
       {"first (conv1)", "conv1"},
@@ -77,21 +82,46 @@ int main(int argc, char** argv) {
     }
 
     auto target_model = target.make_model();
-    for (const auto& [label, layer] : layers) {
-      mh5::File ckpt = target.restart_checkpoint();
-      const core::ReplayStats stats = core::replay_injection_log(
-          logs[layer], ckpt, *target_model, target.adapter(),
-          core::ReplayMode::SameLayerBit, opt.seed * 5 + 1);
-      const nn::TrainResult res = target.resume_training(ckpt);
-      std::vector<std::string> row = {label + " (" +
-                                      std::to_string(stats.replayed) +
+    struct LayerResult {
+      std::size_t replayed = 0;
+      std::vector<double> acc;
+    };
+    std::vector<LayerResult> results(layers.size());
+    std::vector<Json> rows(layers.size());
+    const std::string cell = "fig5/" + target_fw;
+    bench::make_scheduler(opt, cell).run(
+        layers.size(), [&](const core::TrialContext& trial) {
+          const std::string& layer = layers[trial.index].second;
+          mh5::File ckpt = target.restart_checkpoint();
+          const core::ReplayStats stats = core::replay_injection_log(
+              logs.at(layer), ckpt, *target_model, target.adapter(),
+              core::ReplayMode::SameLayerBit, trial.seed);
+          const nn::TrainResult res = target.resume_training(ckpt);
+          LayerResult& slot = results[trial.index];
+          slot.replayed = stats.replayed;
+          for (const auto& s : res.epochs) slot.acc.push_back(s.test_accuracy);
+          if (trials_out.enabled()) {
+            Json row = Json::object();
+            row["cell"] = cell;
+            row["trial"] = trial.index;
+            row["seed"] = std::to_string(trial.seed);
+            row["layer"] = layer;
+            row["replayed"] = stats.replayed;
+            row["final_accuracy"] = res.final_accuracy;
+            rows[trial.index] = std::move(row);
+          }
+          std::printf(".");
+          std::fflush(stdout);
+        });
+    trials_out.flush_cell(rows);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      std::vector<std::string> row = {layers[i].first + " (" +
+                                      std::to_string(results[i].replayed) +
                                       " flips)"};
-      for (const auto& s : res.epochs)
-        row.push_back(format_fixed(100.0 * s.test_accuracy, 1));
+      for (const double a : results[i].acc)
+        row.push_back(format_fixed(100.0 * a, 1));
       while (row.size() < epochs + 1) row.push_back("-");
       table.add_row(row);
-      std::printf(".");
-      std::fflush(stdout);
     }
     std::printf("\n%s\n", table.str().c_str());
   }

@@ -5,6 +5,10 @@
 // The paper reports boxplots of the non-zero weight differences per
 // injected layer: first-layer injection spreads the widest, the middle
 // layer absorbs, the last layer sits in between.
+//
+// The per-layer campaigns fan out on core::TrialScheduler (--jobs N): one
+// trial per layer, boxplot stats land in index slots and rows are emitted
+// in layer order, so output is --jobs invariant.
 #include <cmath>
 
 #include "bench/common.hpp"
@@ -19,6 +23,7 @@ int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
   bench::print_banner("Figure 6: soft error propagation, tensorflow/alexnet",
                       opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   core::ExperimentRunner runner(
       bench::make_config(opt, "tensorflow", "alexnet"));
@@ -40,44 +45,69 @@ int main(int argc, char** argv) {
   auto model = runner.make_model();
   core::ModelContext ctx = runner.make_context(*model);
 
-  for (const auto& [label, layer] : layers) {
-    mh5::File ckpt = runner.restart_checkpoint();
-    core::CorrupterConfig cc;
-    cc.injection_attempts = 1000;
-    cc.corruption_mode = core::CorruptionMode::BitRange;
-    cc.first_bit = 0;
-    cc.last_bit = 61;
-    cc.use_random_locations = false;
-    cc.locations_to_corrupt = {"model_weights/" + layer};
-    cc.seed = opt.seed * 211;
-    core::Corrupter corrupter(cc);
-    corrupter.corrupt(ckpt, &ctx);
+  struct LayerResult {
+    std::size_t n_diffs = 0;
+    BoxplotStats box{};
+  };
+  std::vector<LayerResult> results(layers.size());
+  std::vector<Json> rows(layers.size());
+  bench::make_scheduler(opt, "fig6/propagation")
+      .run(layers.size(), [&](const core::TrialContext& trial) {
+        const std::string& layer = layers[trial.index].second;
+        mh5::File ckpt = runner.restart_checkpoint();
+        core::CorrupterConfig cc;
+        cc.injection_attempts = 1000;
+        cc.corruption_mode = core::CorruptionMode::BitRange;
+        cc.first_bit = 0;
+        cc.last_bit = 61;
+        cc.use_random_locations = false;
+        cc.locations_to_corrupt = {"model_weights/" + layer};
+        cc.seed = trial.seed;
+        core::Corrupter corrupter(cc);
+        corrupter.corrupt(ckpt, &ctx);
 
-    auto [res, trained] = runner.resume_training_with_model(ckpt);
-    (void)res;
+        auto [res, trained] = runner.resume_training_with_model(ckpt);
+        (void)res;
 
-    // Differences between corrupted-then-trained weights and the clean twin;
-    // only weights with differences are used (paper).
-    std::vector<double> diffs;
-    for (const auto& p : trained->params()) {
-      const auto& clean = clean_weights.at(p.name);
-      for (std::size_t i = 0; i < clean.size(); ++i) {
-        const double d = (*p.value)[i] - clean[i];
-        if (d != 0.0 && std::isfinite(d)) diffs.push_back(std::fabs(d));
-      }
-    }
-    if (diffs.empty()) {
-      table.add_row({label, "0", "-", "-", "-", "-", "-", "-"});
+        // Differences between corrupted-then-trained weights and the clean
+        // twin; only weights with differences are used (paper).
+        std::vector<double> diffs;
+        for (const auto& p : trained->params()) {
+          const auto& clean = clean_weights.at(p.name);
+          for (std::size_t i = 0; i < clean.size(); ++i) {
+            const double d = (*p.value)[i] - clean[i];
+            if (d != 0.0 && std::isfinite(d)) diffs.push_back(std::fabs(d));
+          }
+        }
+        LayerResult& slot = results[trial.index];
+        slot.n_diffs = diffs.size();
+        if (!diffs.empty()) slot.box = boxplot_stats(diffs);
+        if (trials_out.enabled()) {
+          Json row = Json::object();
+          row["cell"] = "fig6/propagation";
+          row["trial"] = trial.index;
+          row["seed"] = std::to_string(trial.seed);
+          row["layer"] = layer;
+          row["diff_weights"] = diffs.size();
+          row["median"] = diffs.empty() ? 0.0 : slot.box.median;
+          rows[trial.index] = std::move(row);
+        }
+        std::printf(".");
+        std::fflush(stdout);
+      });
+  trials_out.flush_cell(rows);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerResult& r = results[i];
+    if (r.n_diffs == 0) {
+      table.add_row({layers[i].first, "0", "-", "-", "-", "-", "-", "-"});
       continue;
     }
-    const BoxplotStats box = boxplot_stats(diffs);
-    table.add_row({label, std::to_string(diffs.size()),
-                   format_fixed(box.q1, 6), format_fixed(box.median, 6),
-                   format_fixed(box.q3, 6), format_fixed(box.whisker_lo, 6),
-                   format_fixed(box.whisker_hi, 6),
-                   std::to_string(box.n_outliers)});
-    std::printf(".");
-    std::fflush(stdout);
+    table.add_row({layers[i].first, std::to_string(r.n_diffs),
+                   format_fixed(r.box.q1, 6), format_fixed(r.box.median, 6),
+                   format_fixed(r.box.q3, 6),
+                   format_fixed(r.box.whisker_lo, 6),
+                   format_fixed(r.box.whisker_hi, 6),
+                   std::to_string(r.box.n_outliers)});
   }
   std::printf("\n\n%s\n", table.str().c_str());
   std::printf(

@@ -4,6 +4,10 @@
 // Instead of flipping bits, weights are multiplied by a scaling factor;
 // the paper's heat map sweeps factor x number-of-affected-weights and shows
 // dramatic degradation (e.g. 10 weights x 4500 can halve accuracy).
+//
+// Each heat-map cell's trials fan out on core::TrialScheduler (--jobs N);
+// per-trial accuracies land in index slots and the mean is reduced in
+// index order, so every cell is bitwise independent of --jobs.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/strings.hpp"
@@ -19,6 +23,7 @@ int main(int argc, char** argv) {
   }());
   bench::print_banner("Figure 7: scaling-factor heat map, chainer/resnet50",
                       opt);
+  bench::TrialRows trials_out(opt.trials_out);
 
   core::ExperimentRunner runner(
       bench::make_config(opt, "chainer", "resnet50"));
@@ -53,21 +58,36 @@ int main(int argc, char** argv) {
   for (const std::uint64_t n_weights : weight_counts) {
     std::vector<std::string> row = {std::to_string(n_weights)};
     for (const double factor : factors) {
+      const std::string cell = "fig7/" + std::to_string(n_weights) + "x" +
+                               format_fixed(factor, 1);
+      std::vector<double> accs(opt.trainings, 0.0);
+      std::vector<Json> rows_out(opt.trainings);
+      bench::make_scheduler(opt, cell).run(
+          opt.trainings, [&](const core::TrialContext& trial) {
+            mh5::File ckpt =
+                runner.checkpoint_at(runner.config().total_epochs);
+            core::CorrupterConfig cc;
+            cc.corruption_mode = core::CorruptionMode::ScalingFactor;
+            cc.scaling_factor = factor;
+            cc.injection_attempts = static_cast<double>(n_weights);
+            cc.use_random_locations = false;
+            cc.locations_to_corrupt = weight_locations;
+            cc.seed = trial.seed;
+            core::Corrupter corrupter(cc);
+            corrupter.corrupt(ckpt, &ctx);
+            accs[trial.index] = 100.0 * runner.predict(ckpt).accuracy;
+            if (trials_out.enabled()) {
+              Json jrow = Json::object();
+              jrow["cell"] = cell;
+              jrow["trial"] = trial.index;
+              jrow["seed"] = std::to_string(trial.seed);
+              jrow["accuracy"] = accs[trial.index];
+              rows_out[trial.index] = std::move(jrow);
+            }
+          });
+      trials_out.flush_cell(rows_out);
       double acc_sum = 0.0;
-      for (std::size_t t = 0; t < opt.trainings; ++t) {
-        mh5::File ckpt = runner.checkpoint_at(runner.config().total_epochs);
-        core::CorrupterConfig cc;
-        cc.corruption_mode = core::CorruptionMode::ScalingFactor;
-        cc.scaling_factor = factor;
-        cc.injection_attempts = static_cast<double>(n_weights);
-        cc.use_random_locations = false;
-        cc.locations_to_corrupt = weight_locations;
-        cc.seed = opt.seed * 5 + t * 3 + n_weights +
-                  static_cast<std::uint64_t>(factor);
-        core::Corrupter corrupter(cc);
-        corrupter.corrupt(ckpt, &ctx);
-        acc_sum += 100.0 * runner.predict(ckpt).accuracy;
-      }
+      for (const double a : accs) acc_sum += a;
       row.push_back(
           format_fixed(acc_sum / static_cast<double>(opt.trainings), 1));
       std::printf(".");

@@ -3,6 +3,7 @@
 // and location-targeted vs whole-file injection.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_common.hpp"
 #include "core/corrupter.hpp"
 
 using namespace ckptfi;
@@ -134,4 +135,6 @@ BENCHMARK(BM_CorruptF16Dataset);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ckptfi::bench_micro::run_main(argc, argv, "bench_micro_injector");
+}

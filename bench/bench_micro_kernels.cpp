@@ -19,11 +19,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench/micro_common.hpp"
 #include "obs/obs.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
@@ -227,41 +226,8 @@ void BM_GemmBtFast(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmBtFast);
 
-std::string g_json_out;
-
-void write_metrics_snapshot() {
-  std::ofstream out(g_json_out, std::ios::trunc);
-  if (out) {
-    out << obs::Registry::global().to_json().dump(2) << "\n";
-  } else {
-    std::fprintf(stderr, "bench_micro_kernels: cannot write metrics to '%s'\n",
-                 g_json_out.c_str());
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --json-out=PATH before Google Benchmark parses the args (it
-  // aborts on flags it does not know). The flag enables the obs metrics
-  // registry for the whole run and dumps its snapshot as JSON at exit.
-  std::vector<char*> passthrough;
-  passthrough.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json-out=", 0) == 0) {
-      g_json_out = arg.substr(std::string("--json-out=").size());
-      obs::set_metrics_enabled(true);
-      std::atexit(write_metrics_snapshot);
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  int pargc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&pargc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ckptfi::bench_micro::run_main(argc, argv, "bench_micro_kernels");
 }

@@ -245,9 +245,21 @@ inline core::ExperimentConfig make_config(const BenchOptions& o,
   return cfg;
 }
 
-/// Header block naming the experiment and the scale it runs at. Also emits
-/// the run-start obs event, stamped with the active kernel backend so a
-/// metrics/trace artifact records which compute path produced it.
+/// The run-start obs event, stamped with the active kernel backend so a
+/// metrics/trace artifact records which compute path produced it. Benches
+/// that print their own banner (solver extension, micro harnesses) still
+/// call this — ckptfi-lint's obs-bench-conventions rule insists on it.
+inline void emit_run_start(const std::string& what, const BenchOptions& o) {
+  Json f = Json::object();
+  f["bench"] = what;
+  f["kernels.backend"] = kernel_backend_name();
+  f["jobs"] = o.jobs;
+  f["seed"] = std::to_string(o.seed);
+  obs::emit_event("run_start", std::move(f));
+}
+
+/// Header block naming the experiment and the scale it runs at; also stamps
+/// the run_start event.
 inline void print_banner(const std::string& what, const BenchOptions& o) {
   std::printf("=== %s ===\n", what.c_str());
   std::printf(
@@ -256,12 +268,7 @@ inline void print_banner(const std::string& what, const BenchOptions& o) {
       "(paper: 250 trainings, CIFAR-10 50k, full-width models, epoch 20)\n\n",
       o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs,
       o.jobs);
-  Json f = Json::object();
-  f["bench"] = what;
-  f["kernels.backend"] = kernel_backend_name();
-  f["jobs"] = o.jobs;
-  f["seed"] = std::to_string(o.seed);
-  obs::emit_event("run_start", std::move(f));
+  emit_run_start(what, o);
 }
 
 }  // namespace ckptfi::bench

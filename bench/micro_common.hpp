@@ -1,0 +1,75 @@
+// Shared main() plumbing for the google-benchmark micro harnesses
+// (bench_micro_injector / bench_micro_kernels / bench_micro_mh5).
+//
+// Google Benchmark aborts on flags it does not know, so --json-out=PATH is
+// peeled off before benchmark::Initialize sees the args. The flag enables
+// the obs metrics registry and the event log for the whole run, stamps a
+// run_start event (so the artifact records which binary and kernel backend
+// produced it), and dumps the registry snapshot — events riding along, as
+// in bench/common.hpp — as JSON at exit.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "tensor/kernels.hpp"
+
+namespace ckptfi::bench_micro {
+
+namespace detail {
+inline std::string g_json_out;  // set once in run_main, read at exit
+
+inline void write_metrics_snapshot() {
+  std::ofstream out(g_json_out, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write metrics to '%s'\n",
+                 g_json_out.c_str());
+    return;
+  }
+  Json snap = obs::Registry::global().to_json();
+  Json events = Json::array();
+  for (auto& e : obs::EventLog::global().events()) {
+    events.push_back(std::move(e));
+  }
+  snap["events"] = std::move(events);
+  out << snap.dump(2) << "\n";
+}
+}  // namespace detail
+
+/// The whole micro-bench main: peel --json-out, stamp run_start, hand the
+/// remaining args to Google Benchmark.
+inline int run_main(int argc, char** argv, const char* bench_name) {
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      detail::g_json_out = arg.substr(std::string("--json-out=").size());
+      obs::set_metrics_enabled(true);
+      obs::set_events_enabled(true);
+      std::atexit(detail::write_metrics_snapshot);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  Json fields = Json::object();
+  fields["bench"] = bench_name;
+  fields["kernels.backend"] = kernel_backend_name();
+  obs::emit_event("run_start", std::move(fields));
+
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ckptfi::bench_micro

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the repo's curated .clang-tidy profile over src/ bench/ tools/ using
+# the compile database CMake always exports to the build tree.
+#
+#   scripts/run_clang_tidy.sh [build-dir]     (default: build)
+#
+# Exits 0 when clang-tidy is not installed (the container used for local
+# development does not ship it; CI does) so the script can sit in front of
+# the test suite unconditionally. Any clang-tidy diagnostic is an error:
+# .clang-tidy sets WarningsAsErrors: '*'.
+set -euo pipefail
+
+build_dir="${1:-build}"
+cd "$(dirname "$0")/.."
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$tidy_bin' not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing; configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'bench/*.cpp' 'tools/*.cpp')
+echo "run_clang_tidy: ${#sources[@]} file(s), profile $(pwd)/.clang-tidy"
+
+status=0
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+    "${sources[@]}" || status=$?
+else
+  for f in "${sources[@]}"; do
+    "$tidy_bin" -p "$build_dir" --quiet "$f" || status=$?
+  done
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy: findings above must be fixed or NOLINT'ed with a reason" >&2
+fi
+exit $status

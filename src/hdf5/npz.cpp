@@ -81,13 +81,18 @@ std::vector<std::uint8_t> npy_serialize(const Dataset& ds) {
   header += std::string(pad, ' ');
   header += '\n';
 
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), kNpyMagic, kNpyMagic + 6);
-  out.push_back(1);  // major
-  out.push_back(0);  // minor
-  put_u16(out, static_cast<std::uint16_t>(header.size()));
-  out.insert(out.end(), header.begin(), header.end());
-  out.insert(out.end(), ds.raw().begin(), ds.raw().end());
+  // Sized once, filled by offset: the incremental insert/push_back shape
+  // trips GCC 12's -Wstringop-overflow on the reallocating growth path.
+  const std::vector<std::uint8_t>& raw = ds.raw();
+  std::vector<std::uint8_t> out(base + header.size() + raw.size());
+  std::memcpy(out.data(), kNpyMagic, 6);
+  out[6] = 1;  // major
+  out[7] = 0;  // minor
+  out[8] = static_cast<std::uint8_t>(header.size() & 0xff);
+  out[9] = static_cast<std::uint8_t>(header.size() >> 8);
+  std::memcpy(out.data() + base, header.data(), header.size());
+  if (!raw.empty())
+    std::memcpy(out.data() + base + header.size(), raw.data(), raw.size());
   return out;
 }
 

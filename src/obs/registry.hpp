@@ -59,6 +59,7 @@ class Gauge {
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
+  // ckptfi-lint: allow(conc-atomic-float) last-writer-wins diagnostic gauge, not an accumulator; never feeds experiment results
   std::atomic<double> value_{0.0};
 };
 
@@ -97,8 +98,11 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
+  // ckptfi-lint: allow(conc-atomic-float) metrics tolerate order-dependent FP accumulation; snapshots are diagnostics, never experiment results
   std::atomic<double> sum_{0.0};
+  // ckptfi-lint: allow(conc-atomic-float) min/max CAS loops are order-independent; diagnostics only
   std::atomic<double> min_{0.0};
+  // ckptfi-lint: allow(conc-atomic-float) min/max CAS loops are order-independent; diagnostics only
   std::atomic<double> max_{0.0};
 };
 

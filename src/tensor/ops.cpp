@@ -565,6 +565,7 @@ void maxpool2d_forward(const Tensor& x, const ConvSpec& spec, Tensor& y,
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t ho = spec.out_extent(h), wo = spec.out_extent(w);
   y.resize({n, c, ho, wo});
+  // ckptfi-lint: allow(arena-kernel-heap) argmax is a caller-owned output (backward needs it across the arena's batch reset); assign reuses capacity, so steady-state batches stay allocation-free
   argmax.assign(y.numel(), 0);
 
   const double* px = x.data();

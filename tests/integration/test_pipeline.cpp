@@ -122,7 +122,7 @@ TEST(Pipeline, EquivalentInjectionAcrossAllFrameworks) {
   InjectionReport rep = corrupter.corrupt(ckpt_a, &ctx);
   rep.log.set_meta("framework", "chainer");
 
-  for (const std::string& other : {"pytorch", "tensorflow"}) {
+  for (const char* other : {"pytorch", "tensorflow"}) {
     ExperimentRunner target(tiny_config(other));
     mh5::File ckpt_b = target.restart_checkpoint();
     auto model_b = target.make_model();

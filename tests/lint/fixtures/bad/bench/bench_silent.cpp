@@ -1,0 +1,6 @@
+// Fixture: obs-bench-conventions — a bench that prints a table but never
+// stamps run_start and cannot emit a metrics snapshot.
+int main() {
+  std::printf("silent bench\n");
+  return 0;
+}

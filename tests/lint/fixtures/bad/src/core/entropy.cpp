@@ -1,0 +1,12 @@
+// Fixture: det-rng-entropy — every banned entropy source in one file. These
+// files are lint inputs only; they are never compiled (and are excluded from
+// repo-wide scans by the engine's default excludes).
+namespace fixture {
+
+unsigned careless_seed() {
+  std::random_device rd;
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return rd() ^ static_cast<unsigned>(std::rand());
+}
+
+}  // namespace fixture

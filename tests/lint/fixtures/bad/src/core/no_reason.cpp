@@ -1,0 +1,8 @@
+// Fixture: lint-allow-needs-reason — a suppression with no justification
+// neither suppresses the violation nor passes itself.
+namespace fixture {
+
+// ckptfi-lint: allow(det-rng-entropy)
+unsigned seed() { return static_cast<unsigned>(rand()); }
+
+}  // namespace fixture

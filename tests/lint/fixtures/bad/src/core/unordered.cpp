@@ -1,0 +1,13 @@
+// Fixture: det-unordered-container — hash iteration order leaks into any
+// loop that walks the container.
+namespace fixture {
+
+int sum_values(const std::unordered_map<std::string, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}
+
+std::unordered_set<int> visited;
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: conc-atomic-float — cross-thread FP accumulation is
+// scheduling-order dependent.
+namespace fixture {
+
+struct Stats {
+  std::atomic<float> mean{0.0f};
+  std::atomic<double> sum{0.0};
+};
+
+}  // namespace fixture

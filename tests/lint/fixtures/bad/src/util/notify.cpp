@@ -1,0 +1,16 @@
+// Fixture: conc-notify-under-lock — the PR 3 parallel_for race shape: the
+// last worker notifies while still holding the latch mutex.
+namespace fixture {
+
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 1;
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: obs-bench-conventions clean shape — options through parse (which
+// handles --json-out), banner stamps run_start.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  const ckptfi::bench::BenchOptions opt =
+      ckptfi::bench::BenchOptions::parse(argc, argv);
+  ckptfi::bench::print_banner("fixture bench", opt);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fixture: ordered containers in a deterministic module — iteration order
+// is specified, nothing to flag.
+namespace fixture {
+
+int sum_values(const std::map<std::string, int>& m) {
+  int s = 0;
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}
+
+}  // namespace fixture

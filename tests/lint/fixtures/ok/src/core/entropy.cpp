@@ -1,0 +1,16 @@
+// Fixture: clean counterpart of det-rng-entropy — all randomness flows
+// through the seeded splitmix64 streams, time only via the monotonic clock.
+namespace fixture {
+
+double draw(std::uint64_t campaign_seed, std::uint64_t trial) {
+  ckptfi::SplitMix64 rng(ckptfi::core::trial_seed(campaign_seed, trial));
+  return rng.next_double();
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace fixture

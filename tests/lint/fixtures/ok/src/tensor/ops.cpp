@@ -1,0 +1,14 @@
+// Fixture: arena-kernel-heap clean shape — scratch from the thread-local
+// Workspace arena, caller-owned outputs taken by reference.
+namespace fixture {
+
+void convolve(const float* src, float* dst, std::size_t n,
+              std::vector<float>& caller_owned) {
+  ckptfi::Workspace& ws = ckptfi::Workspace::tls();
+  ckptfi::Workspace::Scope scope(ws);
+  float* scratch = ws.alloc<float>(n);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = src[i];
+  dst[0] = scratch[0] + caller_owned[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: conc-notify-under-lock clean shapes — notify after the guard
+// scope closes, notify after an explicit unlock(), and a notify inside a
+// lambda whose body runs without the capture-site lock.
+namespace fixture {
+
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 1;
+
+  void count_down() {
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      last = --remaining == 0;
+    }
+    if (last) cv.notify_all();
+  }
+
+  void unlock_then_notify() {
+    std::unique_lock<std::mutex> lk(mu);
+    --remaining;
+    lk.unlock();
+    cv.notify_one();
+  }
+
+  auto deferred_notifier() {
+    std::lock_guard<std::mutex> lock(mu);
+    // The lambda body runs later, not under 'lock'.
+    return [this] { cv.notify_one(); };
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a violation neutralised by a reasoned allow, plus an unused
+// directive that the report must call out as a note.
+namespace fixture {
+
+// ckptfi-lint: allow(det-rng-entropy) fixture: exercising the suppression path end-to-end
+unsigned seed() { return static_cast<unsigned>(rand()); }
+
+// ckptfi-lint: allow(det-unordered-container) fixture: nothing below actually trips the rule
+int nothing_here() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,133 @@
+// Self-tests for ckptfi-lint: every rule must fire on its bad fixture, stay
+// quiet on the conforming counterpart, and honour reasoned suppressions. The
+// bad tree's full SARIF report is diffed against a golden file so a rule
+// regression (missed finding, drifted message, broken location) shows up as
+// a readable JSON diff. Regenerate the golden after an intentional change:
+//
+//   ckptfi_lint --root=tests/lint/fixtures/bad --no-default-excludes
+//       --json=tests/lint/expected_sarif.json   (one command line)
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace ckptfi::lint {
+namespace {
+
+std::string fixture_root(const std::string& tree) {
+  return std::string(CKPTFI_LINT_FIXTURE_DIR) + "/" + tree;
+}
+
+Report run_tree(const std::string& tree) {
+  Options opt;
+  opt.root = fixture_root(tree);
+  opt.default_excludes = false;  // the fixtures ARE the scan target here
+  return run(opt);
+}
+
+TEST(LintRules, RegistryHasUniqueIdsAndHints) {
+  std::set<std::string> ids;
+  for (const RuleInfo& r : rules()) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule id " << r.id;
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+    EXPECT_FALSE(r.hint.empty()) << r.id;
+  }
+  EXPECT_EQ(ids.size(), 7u);
+}
+
+TEST(LintFixtures, EveryRuleFiresOnTheBadTree) {
+  const Report report = run_tree("bad");
+  std::set<std::string> fired;
+  for (const Finding& f : report.findings) {
+    EXPECT_FALSE(f.suppressed) << f.file << ":" << f.line;
+    fired.insert(f.rule);
+  }
+  for (const RuleInfo& r : rules()) {
+    EXPECT_TRUE(fired.count(r.id)) << "rule never fired: " << r.id;
+  }
+  EXPECT_EQ(report.unsuppressed(), report.findings.size());
+  EXPECT_GT(report.unsuppressed(), 0u);
+}
+
+TEST(LintFixtures, OkTreeIsClean) {
+  const Report report = run_tree("ok");
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << "false positive: " << f.file << ":" << f.line << " ["
+                  << f.rule << "] " << f.message;
+  }
+  EXPECT_EQ(report.files_scanned, 5u);  // one clean twin per checker family
+}
+
+TEST(LintFixtures, ReasonedSuppressionNeutralisesAndUnusedIsNoted) {
+  const Report report = run_tree("suppressed");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].suppressed);
+  EXPECT_EQ(report.findings[0].rule, "det-rng-entropy");
+  EXPECT_FALSE(report.findings[0].suppress_reason.empty());
+  EXPECT_EQ(report.unsuppressed(), 0u);
+
+  ASSERT_EQ(report.suppressions.size(), 2u);
+  EXPECT_TRUE(report.suppressions[0].used);
+  EXPECT_FALSE(report.suppressions[1].used);  // reported as a note
+}
+
+TEST(LintFixtures, BadTreeSarifMatchesGolden) {
+  std::ifstream in(CKPTFI_LINT_EXPECTED_SARIF);
+  ASSERT_TRUE(in) << "missing golden file " << CKPTFI_LINT_EXPECTED_SARIF;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json expected = Json::parse(buf.str());
+
+  const Json actual = run_tree("bad").sarif();
+  EXPECT_EQ(actual.dump(2), expected.dump(2));
+}
+
+TEST(LintCheckFile, SuppressionCoversOwnLineAndLineBelow) {
+  const std::string two_below =
+      "// ckptfi-lint: allow(det-rng-entropy) too far away\n"
+      "\n"
+      "int x = rand();\n";
+  Report report;
+  check_file("src/core/gap.cpp", two_below, report);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_FALSE(report.findings[0].suppressed) << "directive must not reach "
+                                                 "past the next line";
+}
+
+TEST(LintCheckFile, ProseMentionOfTheToolIsNotADirective) {
+  // Doc comments reference the tool by name; a marker only becomes a
+  // directive when an allow-list directly follows it.
+  const std::string prose =
+      "// Self-tests for ckptfi-lint: every rule must fire.\n"
+      "int x = 0;\n";
+  Report report;
+  check_file("src/core/prose.cpp", prose, report);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressions.empty());
+}
+
+TEST(LintCheckFile, RulesAreScopedByPath) {
+  // Heap scratch is only a finding inside the kernel hot-path files.
+  const std::string heap = "void f() { int* p = new int[4]; delete[] p; }\n";
+  Report hot, cold;
+  check_file("src/tensor/ops.cpp", heap, hot);
+  check_file("src/core/other.cpp", heap, cold);
+  EXPECT_EQ(hot.findings.size(), 1u);
+  EXPECT_TRUE(cold.findings.empty());
+
+  // Entropy is only policed in deterministic modules (src/util hosts the
+  // RNG itself and may legitimately mention these names).
+  const std::string entropy = "int seed() { return rand(); }\n";
+  Report det, util;
+  check_file("src/core/seed.cpp", entropy, det);
+  check_file("src/util/rng.cpp", entropy, util);
+  EXPECT_EQ(det.findings.size(), 1u);
+  EXPECT_TRUE(util.findings.empty());
+}
+
+}  // namespace
+}  // namespace ckptfi::lint

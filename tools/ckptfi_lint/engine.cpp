@@ -1,0 +1,192 @@
+// File discovery, report assembly, and the two output encoders (human text
+// and SARIF 2.1.0). The scan itself is deterministic: files are visited in
+// sorted root-relative order, so two runs over the same tree produce
+// byte-identical reports — the same property the linter exists to protect.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace ckptfi::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".hh" || ext == ".h" || ext == ".inl";
+}
+
+const RuleInfo* rule_info(const std::string& id) {
+  for (const RuleInfo& r : rules()) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t Report::unsuppressed() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += f.suppressed ? 0 : 1;
+  return n;
+}
+
+std::size_t Report::suppressed() const {
+  return findings.size() - unsuppressed();
+}
+
+Report run(const Options& opt) {
+  Report report;
+  std::vector<std::string> paths = opt.paths;
+  if (paths.empty()) paths = {"src", "bench", "examples", "tests"};
+
+  std::vector<std::pair<std::string, fs::path>> files;  // (rel, absolute)
+  const fs::path root = fs::path(opt.root);
+  for (const std::string& p : paths) {
+    const fs::path base = root / p;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.emplace_back(fs::relative(base, root, ec).generic_string(), base);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec) || !lintable_extension(it->path()))
+        continue;
+      std::string rel = fs::relative(it->path(), root, ec).generic_string();
+      if (opt.default_excludes &&
+          rel.find("tests/lint/fixtures") != std::string::npos)
+        continue;
+      files.emplace_back(std::move(rel), it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const auto& [rel, abs] : files) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    check_file(rel, content, report);
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  std::sort(report.suppressions.begin(), report.suppressions.end(),
+            [](const SuppressionRecord& a, const SuppressionRecord& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return report;
+}
+
+std::string Report::text() const {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+    if (const RuleInfo* info = rule_info(f.rule)) {
+      out << "    hint: " << info->hint << "\n";
+    }
+  }
+  for (const Finding& f : findings) {
+    if (!f.suppressed) continue;
+    out << "suppressed: " << f.file << ":" << f.line << " [" << f.rule
+        << "] — " << f.suppress_reason << "\n";
+  }
+  for (const SuppressionRecord& s : suppressions) {
+    if (!s.used) {
+      out << "note: unused suppression at " << s.file << ":" << s.line
+          << " allow(" << s.rules << ")\n";
+    }
+  }
+  out << "ckptfi-lint: " << files_scanned << " file(s), "
+      << findings.size() << " finding(s), " << unsuppressed()
+      << " unsuppressed, " << suppressed() << " suppressed ("
+      << suppressions.size() << " allow directive(s))\n";
+  return out.str();
+}
+
+Json Report::sarif() const {
+  Json driver = Json::object();
+  driver["name"] = "ckptfi-lint";
+  driver["informationUri"] = "docs/LINT.md";
+  Json rule_list = Json::array();
+  for (const RuleInfo& r : rules()) {
+    Json jr = Json::object();
+    jr["id"] = r.id;
+    Json sd = Json::object();
+    sd["text"] = r.summary;
+    jr["shortDescription"] = std::move(sd);
+    Json help = Json::object();
+    help["text"] = r.hint;
+    jr["help"] = std::move(help);
+    rule_list.push_back(std::move(jr));
+  }
+  driver["rules"] = std::move(rule_list);
+
+  Json results = Json::array();
+  for (const Finding& f : findings) {
+    Json res = Json::object();
+    res["ruleId"] = f.rule;
+    res["level"] = "error";
+    Json msg = Json::object();
+    msg["text"] = f.message;
+    res["message"] = std::move(msg);
+    Json region = Json::object();
+    region["startLine"] = f.line;
+    Json artifact = Json::object();
+    artifact["uri"] = f.file;
+    Json phys = Json::object();
+    phys["artifactLocation"] = std::move(artifact);
+    phys["region"] = std::move(region);
+    Json loc = Json::object();
+    loc["physicalLocation"] = std::move(phys);
+    Json locs = Json::array();
+    locs.push_back(std::move(loc));
+    res["locations"] = std::move(locs);
+    if (f.suppressed) {
+      Json sup = Json::object();
+      sup["kind"] = "inSource";
+      sup["justification"] = f.suppress_reason;
+      Json sups = Json::array();
+      sups.push_back(std::move(sup));
+      res["suppressions"] = std::move(sups);
+    }
+    results.push_back(std::move(res));
+  }
+
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+  Json props = Json::object();
+  props["filesScanned"] = files_scanned;
+  props["unsuppressed"] = unsuppressed();
+  props["suppressed"] = suppressed();
+  Json run_obj = Json::object();
+  run_obj["tool"] = std::move(tool);
+  run_obj["results"] = std::move(results);
+  run_obj["properties"] = std::move(props);
+  Json runs = Json::array();
+  runs.push_back(std::move(run_obj));
+
+  Json doc = Json::object();
+  doc["version"] = "2.1.0";
+  doc["$schema"] =
+      "https://json.schemastore.org/sarif-2.1.0.json";
+  doc["runs"] = std::move(runs);
+  return doc;
+}
+
+}  // namespace ckptfi::lint

@@ -1,0 +1,83 @@
+// ckptfi-lint: determinism & concurrency static analysis for the ckptfi tree.
+//
+// The paper's methodology needs bitwise-deterministic baselines: a corrupted
+// run is only meaningful against a reproducible error-free run. The source
+// conventions that buy that determinism (per-trial splitmix64 seed streams,
+// ascending-k reduction order, notify-outside-lock, arena-only kernel
+// scratch) are enforced here as named rules — see docs/LINT.md for each
+// rule's motivating incident.
+//
+// Findings carry a rule id, file:line and a fix hint; output is human text
+// plus SARIF 2.1.0 JSON. `// ckptfi-lint: allow(<rule>) <reason>`
+// suppressions are honored (and counted); a suppression without a written
+// reason is itself a finding. Non-zero process exit on any unsuppressed
+// finding makes the tool a CI gate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckptfi::lint {
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;  ///< one-line description (SARIF shortDescription)
+  std::string hint;     ///< how to fix, appended to every finding
+};
+
+/// The registered rule set, in stable id order.
+const std::vector<RuleInfo>& rules();
+
+struct Finding {
+  std::string rule;
+  std::string file;  ///< scan-root-relative, '/'-separated
+  int line = 1;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// One allow() directive encountered while scanning, whether or not any
+/// finding matched it — the report lists them all so reviewers see every
+/// hole punched in the gate.
+struct SuppressionRecord {
+  std::string file;
+  int line = 1;
+  std::string rules;   ///< comma-joined rule ids from allow(...)
+  std::string reason;
+  bool used = false;   ///< matched at least one finding
+};
+
+struct Options {
+  std::string root = ".";           ///< paths below resolve relative to this
+  std::vector<std::string> paths;   ///< default: src bench examples tests
+  /// Skip tests/lint/fixtures (intentional violations used by the rule
+  /// self-tests). The fixture tests disable this and point root at the
+  /// fixture trees instead.
+  bool default_excludes = true;
+};
+
+struct Report {
+  std::vector<Finding> findings;              ///< sorted by (file,line,rule)
+  std::vector<SuppressionRecord> suppressions;  ///< sorted by (file,line)
+  std::size_t files_scanned = 0;
+
+  std::size_t unsuppressed() const;
+  std::size_t suppressed() const;
+  Json sarif() const;
+  std::string text() const;
+};
+
+/// Lint every C++ file under opt.paths (resolved against opt.root).
+Report run(const Options& opt);
+
+/// Lint a single file's contents. `rel_path` decides which rules apply
+/// (deterministic module, kernel hot path, bench harness — see rules.cpp).
+void check_file(const std::string& rel_path, std::string_view content,
+                Report& report);
+
+}  // namespace ckptfi::lint

@@ -1,0 +1,62 @@
+// ckptfi_lint CLI — the CI gate.
+//
+//   ckptfi_lint [--root=DIR] [--json=PATH] [--no-default-excludes]
+//               [--list-rules] [paths...]
+//
+// Paths default to `src bench examples tests`, resolved against --root
+// (default: the current directory). Exit status: 0 when every finding is
+// suppressed with a written reason, 1 when unsuppressed findings remain,
+// 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  ckptfi::lint::Options opt;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : ckptfi::lint::rules()) {
+        std::printf("%-28s %s\n", r.id.c_str(), r.summary.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--no-default-excludes") {
+      opt.default_excludes = false;
+      continue;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      opt.root = arg.substr(7);
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_out = arg.substr(7);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: ckptfi_lint [--root=DIR] [--json=PATH] "
+                   "[--no-default-excludes] [--list-rules] [paths...]\n");
+      return 2;
+    }
+    opt.paths.push_back(arg);
+  }
+
+  const ckptfi::lint::Report report = ckptfi::lint::run(opt);
+  std::fputs(report.text().c_str(), stdout);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ckptfi_lint: cannot write '%s'\n",
+                   json_out.c_str());
+      return 2;
+    }
+    out << report.sarif().dump(2) << "\n";
+  }
+  return report.unsuppressed() == 0 ? 0 : 1;
+}

@@ -1,0 +1,471 @@
+// Rule implementations. Every rule is a token-stream pattern tied to a
+// project invariant; docs/LINT.md records the motivating incident for each.
+//
+// Which rules apply to a file depends on where it lives:
+//   - determinism rules: the deterministic modules
+//     src/{tensor,nn,core,hdf5,solver,data,models} — the code whose outputs
+//     EXPERIMENTS.md numbers are built from. src/util is exempt (it hosts
+//     the seeded RNG itself) and src/obs is exempt (diagnostics may read
+//     wall clocks).
+//   - concurrency rules: everywhere.
+//   - arena rules: the kernel hot-path files src/tensor/{ops,ops_naive,
+//     kernels}.cpp, whose scratch must come from the Workspace arena.
+//   - obs conventions: bench/bench_*.cpp harnesses.
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace ckptfi::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+bool in_deterministic_module(std::string_view path) {
+  for (const char* m : {"src/tensor/", "src/nn/", "src/core/", "src/hdf5/",
+                        "src/solver/", "src/data/", "src/models/"}) {
+    if (starts_with(path, m)) return true;
+  }
+  return false;
+}
+
+bool is_kernel_hot_path(std::string_view path) {
+  return path == "src/tensor/ops.cpp" || path == "src/tensor/ops_naive.cpp" ||
+         path == "src/tensor/kernels.cpp";
+}
+
+bool is_bench_harness(std::string_view path) {
+  if (!starts_with(path, "bench/")) return false;
+  const std::string_view base = basename_of(path);
+  return starts_with(base, "bench_") && base.size() > 4 &&
+         base.substr(base.size() - 4) == ".cpp";
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Identifier && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+/// Index just past the matching '>' of a template argument list whose '<'
+/// sits at `open`. Returns `open` unchanged if no balanced close is found
+/// within a sane distance (then it was a comparison, not a template).
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t open) {
+  int depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 64);
+  for (std::size_t i = open; i < limit; ++i) {
+    if (is_punct(toks[i], "<")) ++depth;
+    else if (is_punct(toks[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(toks[i], ";") || is_punct(toks[i], "{") ||
+               is_punct(toks[i], "}")) {
+      break;
+    }
+  }
+  return open;
+}
+
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "(")) ++depth;
+    else if (is_punct(toks[i], ")") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+struct RawFinding {
+  const char* rule;
+  int line;
+  std::string message;
+};
+
+// ---------------------------------------------------------------- rules --
+
+constexpr char kDetRng[] = "det-rng-entropy";
+constexpr char kDetUnordered[] = "det-unordered-container";
+constexpr char kNotifyUnderLock[] = "conc-notify-under-lock";
+constexpr char kAtomicFloat[] = "conc-atomic-float";
+constexpr char kArenaHeap[] = "arena-kernel-heap";
+constexpr char kBenchObs[] = "obs-bench-conventions";
+constexpr char kAllowReason[] = "lint-allow-needs-reason";
+
+/// det-rng-entropy: process-state entropy sources in deterministic modules.
+void check_rng_entropy(const std::vector<Token>& toks,
+                       std::vector<RawFinding>& out) {
+  // Flagged on any mention: these names have no deterministic use.
+  static const std::vector<std::string_view> kAlways = {
+      "random_device", "system_clock", "gettimeofday", "drand48",
+      "lrand48",       "rand_r",       "srand",        "srand48"};
+  // Flagged only as calls: the bare words are common identifiers.
+  static const std::vector<std::string_view> kCalls = {"rand", "time",
+                                                       "clock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier) continue;
+    const std::string& t = toks[i].text;
+    const bool always =
+        std::find(kAlways.begin(), kAlways.end(), t) != kAlways.end();
+    const bool call =
+        !always &&
+        std::find(kCalls.begin(), kCalls.end(), t) != kCalls.end() &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+        // a member call like foo.time(...) is not the libc function
+        (i == 0 || (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")));
+    if (always || call) {
+      out.push_back({kDetRng, toks[i].line,
+                     "'" + t +
+                         "' draws entropy/time from process state; trial "
+                         "results would stop being a pure function of "
+                         "(--seed, trial index)"});
+    }
+  }
+}
+
+/// det-unordered-container: hash containers have unspecified iteration
+/// order, which leaks into any loop that touches one.
+void check_unordered(const std::vector<Token>& toks,
+                     std::vector<RawFinding>& out) {
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "unordered_map" || t.text == "unordered_set" ||
+        t.text == "unordered_multimap" || t.text == "unordered_multiset") {
+      out.push_back({kDetUnordered, t.line,
+                     "std::" + t.text +
+                         " iterates in unspecified order inside a "
+                         "deterministic module"});
+    }
+  }
+}
+
+/// conc-atomic-float: atomic<float|double> accumulation is order-dependent
+/// (FP addition does not commute across threads), so results depend on
+/// scheduling.
+void check_atomic_float(const std::vector<Token>& toks,
+                        std::vector<RawFinding>& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "atomic") || !is_punct(toks[i + 1], "<")) continue;
+    const Token& a = toks[i + 2];
+    const bool long_double = is_ident(a, "long") && i + 3 < toks.size() &&
+                             is_ident(toks[i + 3], "double");
+    if (is_ident(a, "float") || is_ident(a, "double") || long_double) {
+      out.push_back({kAtomicFloat, toks[i].line,
+                     "std::atomic<" + std::string(long_double ? "long double"
+                                                              : a.text) +
+                         ">: cross-thread FP accumulation is "
+                         "scheduling-order dependent"});
+    }
+  }
+}
+
+/// conc-notify-under-lock: condition_variable::notify_* while a
+/// lock_guard/unique_lock declared in an enclosing scope is still live. The
+/// woken thread immediately blocks on the still-held mutex — and if the
+/// notifier's lock protects state the waiter re-checks, the exact PR 3
+/// parallel_for shape, the handshake can outlive the caller's stack.
+/// Lambda bodies reset the live-lock set: their body runs later, not under
+/// the locks that happen to be live at the capture site.
+void check_notify_under_lock(const std::vector<Token>& toks,
+                             std::vector<RawFinding>& out) {
+  const std::size_t n = toks.size();
+
+  // Pass 1: mark '{' tokens that open a lambda body: "]" [params] [specs] "{".
+  std::vector<char> lambda_brace(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_punct(toks[i], "]")) continue;
+    std::size_t j = i + 1;
+    if (j < n && is_punct(toks[j], "(")) j = skip_parens(toks, j);
+    // Walk over trailing-return/specifier tokens; bail on anything that
+    // cannot appear between a lambda's parameter list and its body.
+    std::size_t guard = 0;
+    while (j < n && guard++ < 24) {
+      const Token& t = toks[j];
+      if (is_punct(t, "{")) {
+        lambda_brace[j] = 1;
+        break;
+      }
+      const bool benign =
+          t.kind == TokKind::Identifier || is_punct(t, "->") ||
+          is_punct(t, "::") || is_punct(t, "<") || is_punct(t, ">") ||
+          is_punct(t, ",") || is_punct(t, "&") || is_punct(t, "*");
+      if (!benign) break;
+      ++j;
+    }
+  }
+
+  struct ActiveLock {
+    int depth;
+    int line;
+    std::string var;
+  };
+  struct LambdaFrame {
+    int entry_depth;
+    std::vector<ActiveLock> saved;
+  };
+  std::vector<ActiveLock> locks;
+  std::vector<LambdaFrame> frames;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      if (lambda_brace[i]) {
+        frames.push_back({depth, std::move(locks)});
+        locks.clear();
+      }
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      while (!locks.empty() && locks.back().depth > depth) locks.pop_back();
+      if (!frames.empty() && frames.back().entry_depth == depth) {
+        locks = std::move(frames.back().saved);
+        frames.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::Identifier) continue;
+
+    if (t.text == "lock_guard" || t.text == "unique_lock" ||
+        t.text == "scoped_lock") {
+      std::size_t j = i + 1;
+      if (j < n && is_punct(toks[j], "<")) j = skip_template_args(toks, j);
+      if (j < n && toks[j].kind == TokKind::Identifier && j + 1 < n &&
+          (is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "{"))) {
+        locks.push_back({depth, toks[j].line, toks[j].text});
+      }
+      continue;
+    }
+    if (t.text == "unlock" && i >= 1 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      // lk.unlock() releases; drop the lock matching the receiver name, or
+      // the innermost one when the receiver is not a plain identifier.
+      std::string var =
+          i >= 2 && toks[i - 2].kind == TokKind::Identifier ? toks[i - 2].text
+                                                            : "";
+      auto it = std::find_if(locks.rbegin(), locks.rend(),
+                             [&](const ActiveLock& l) { return l.var == var; });
+      if (it != locks.rend()) {
+        locks.erase(std::next(it).base());
+      } else if (!locks.empty()) {
+        locks.pop_back();
+      }
+      continue;
+    }
+    if ((t.text == "notify_one" || t.text == "notify_all") && i + 1 < n &&
+        is_punct(toks[i + 1], "(") && !locks.empty()) {
+      out.push_back(
+          {kNotifyUnderLock, t.line,
+           t.text + "() while '" + locks.back().var + "' (line " +
+               std::to_string(locks.back().line) +
+               ") still holds its mutex; the waiter wakes just to block"});
+    }
+  }
+}
+
+/// arena-kernel-heap: heap traffic in the kernel hot-path files. Scratch
+/// must come from Workspace::tls() (per-thread bump arena, zero steady-state
+/// allocations); Tensor::resize on *outputs* is the documented contract and
+/// is not flagged.
+void check_kernel_heap(const std::vector<Token>& toks,
+                       std::vector<RawFinding>& out) {
+  static const std::vector<std::string_view> kAllocCalls = {
+      "malloc", "calloc",      "realloc",    "free",
+      "aligned_alloc", "make_unique", "make_shared"};
+  static const std::vector<std::string_view> kGrowthCalls = {
+      "push_back", "emplace_back", "reserve", "assign", "insert", "emplace"};
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "new") {
+      out.push_back({kArenaHeap, t.line,
+                     "operator new in a kernel hot path allocates per call"});
+      continue;
+    }
+    const bool member_call = i >= 1 && (is_punct(toks[i - 1], ".") ||
+                                        is_punct(toks[i - 1], "->"));
+    if (std::find(kAllocCalls.begin(), kAllocCalls.end(), t.text) !=
+            kAllocCalls.end() &&
+        i + 1 < n &&
+        (is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "<")) &&
+        !member_call) {
+      out.push_back({kArenaHeap, t.line,
+                     "'" + t.text + "' heap call in a kernel hot path"});
+      continue;
+    }
+    if (member_call && i + 1 < n && is_punct(toks[i + 1], "(") &&
+        std::find(kGrowthCalls.begin(), kGrowthCalls.end(), t.text) !=
+            kGrowthCalls.end()) {
+      out.push_back({kArenaHeap, t.line,
+                     "container '" + t.text +
+                         "' may reallocate inside a kernel hot path"});
+      continue;
+    }
+    if (t.text == "vector" && i + 1 < n && is_punct(toks[i + 1], "<")) {
+      const std::size_t after = skip_template_args(toks, i + 1);
+      if (after != i + 1 && after < n &&
+          toks[after].kind == TokKind::Identifier && after + 1 < n &&
+          (is_punct(toks[after + 1], ";") || is_punct(toks[after + 1], "=") ||
+           is_punct(toks[after + 1], "(") ||
+           is_punct(toks[after + 1], "{"))) {
+        out.push_back({kArenaHeap, t.line,
+                       "std::vector value '" + toks[after].text +
+                           "' owns heap storage in a kernel hot path"});
+      }
+      continue;
+    }
+  }
+}
+
+/// obs-bench-conventions: every bench harness stamps a run_start event (so
+/// metrics/trace artifacts record what produced them) and supports
+/// --json-out snapshots.
+void check_bench_conventions(const std::vector<Token>& toks,
+                             std::vector<RawFinding>& out) {
+  bool stamps_run_start = false;
+  bool supports_json_out = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::Identifier &&
+        (t.text == "print_banner" || t.text == "emit_run_start" ||
+         t.text == "run_main")) {
+      // The shared helpers (bench/common.hpp, bench/micro_common.hpp) both
+      // stamp run_start on the bench's behalf.
+      stamps_run_start = true;
+    }
+    if (t.kind == TokKind::String) {
+      if (contains(t.text, "run_start")) stamps_run_start = true;
+      if (contains(t.text, "json-out") || t.text == "bench/common.hpp" ||
+          t.text == "bench/micro_common.hpp")
+        supports_json_out = true;
+    }
+  }
+  if (!stamps_run_start) {
+    out.push_back({kBenchObs, 1,
+                   "bench never stamps a run_start event; call "
+                   "bench::print_banner or obs::emit_event(\"run_start\", ...) "
+                   "so artifacts record their producer"});
+  }
+  if (!supports_json_out) {
+    out.push_back({kBenchObs, 1,
+                   "bench does not support --json-out metrics snapshots; "
+                   "parse it (bench/common.hpp does this for you)"});
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kDetRng,
+       "No process-state entropy (rand, std::random_device, time(), wall "
+       "clock) in deterministic modules",
+       "draw from util/rng.hpp (splitmix64/xoshiro) seeded via "
+       "core::trial_seed(campaign, index)"},
+      {kDetUnordered,
+       "No std::unordered_{map,set} in deterministic modules",
+       "use std::map/std::set (ordered iteration) or a sorted vector"},
+      {kNotifyUnderLock,
+       "No condition_variable notify while a scope lock is live",
+       "close or unlock the lock scope before notifying (see "
+       "ThreadPool::parallel_for for the house pattern)"},
+      {kAtomicFloat,
+       "No std::atomic<float|double>",
+       "accumulate per-thread partials and reduce in a fixed (ascending) "
+       "order, or use an integer atomic"},
+      {kArenaHeap,
+       "No heap allocation in kernel hot paths outside the Workspace arena",
+       "take scratch from Workspace::tls() under a Workspace::Scope "
+       "(docs/KERNELS.md)"},
+      {kBenchObs,
+       "Bench harnesses stamp run_start and support --json-out",
+       "route options through bench::BenchOptions::parse and call "
+       "bench::print_banner"},
+      {kAllowReason,
+       "Every ckptfi-lint suppression names a rule and carries a reason",
+       "write '// ckptfi-lint: allow(<rule>) <why this is safe here>'"},
+  };
+  return kRules;
+}
+
+void check_file(const std::string& rel_path, std::string_view content,
+                Report& report) {
+  const LexedFile lexed = lex(content);
+  std::vector<RawFinding> raw;
+
+  if (in_deterministic_module(rel_path)) {
+    check_rng_entropy(lexed.tokens, raw);
+    check_unordered(lexed.tokens, raw);
+  }
+  check_notify_under_lock(lexed.tokens, raw);
+  check_atomic_float(lexed.tokens, raw);
+  if (is_kernel_hot_path(rel_path)) check_kernel_heap(lexed.tokens, raw);
+  if (is_bench_harness(rel_path)) check_bench_conventions(lexed.tokens, raw);
+
+  // Suppression bookkeeping: a directive covers its own line and the line
+  // directly below (end-of-line or line-above placement).
+  std::vector<SuppressionRecord> records;
+  records.reserve(lexed.suppressions.size());
+  for (const Suppression& s : lexed.suppressions) {
+    SuppressionRecord rec;
+    rec.file = rel_path;
+    rec.line = s.line;
+    for (std::size_t i = 0; i < s.rules.size(); ++i) {
+      if (i) rec.rules += ",";
+      rec.rules += s.rules[i];
+    }
+    rec.reason = s.reason;
+    records.push_back(std::move(rec));
+    if (s.rules.empty() || s.reason.empty()) {
+      raw.push_back({kAllowReason, s.line,
+                     "suppression must name a rule and carry a written "
+                     "reason"});
+    }
+  }
+
+  for (const RawFinding& f : raw) {
+    Finding fd;
+    fd.rule = f.rule;
+    fd.file = rel_path;
+    fd.line = f.line;
+    fd.message = f.message;
+    if (fd.rule != kAllowReason) {
+      for (std::size_t i = 0; i < lexed.suppressions.size(); ++i) {
+        const Suppression& s = lexed.suppressions[i];
+        const bool covers = s.line == f.line || s.line == f.line - 1;
+        const bool names_rule =
+            std::find(s.rules.begin(), s.rules.end(), fd.rule) !=
+            s.rules.end();
+        if (covers && names_rule && !s.reason.empty()) {
+          fd.suppressed = true;
+          fd.suppress_reason = s.reason;
+          records[i].used = true;
+          break;
+        }
+      }
+    }
+    report.findings.push_back(std::move(fd));
+  }
+  for (SuppressionRecord& rec : records)
+    report.suppressions.push_back(std::move(rec));
+  ++report.files_scanned;
+}
+
+}  // namespace ckptfi::lint
