@@ -8,6 +8,11 @@
 // Trials fan out per layer on core::TrialScheduler (--jobs N); each trial
 // writes its epoch trajectory into its own index slot and the mean is
 // reduced in index order afterwards, so output is --jobs invariant.
+//
+// Every trial resumes with numeric-health probes attached and emits a
+// divergence trace against the clean probed baseline (obs/probes.hpp), so
+// the --trials-out rows carry where each injection's corruption went — the
+// input ckptfi_report aggregates.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "core/injection_log.hpp"
@@ -37,10 +42,13 @@ int main(int argc, char** argv) {
     return hdr;
   }());
 
+  // Clean probed baseline: error-free resumed trajectory plus the probe
+  // timeline every corrupted trial's divergence trace is measured against.
+  const core::ExperimentRunner::CleanProbedRun& clean =
+      runner.clean_probed_run();
   {
-    const nn::TrainResult& clean = runner.clean_resume();
     std::vector<std::string> row = {"error-free"};
-    for (const auto& s : clean.epochs)
+    for (const auto& s : clean.result.epochs)
       row.push_back(format_fixed(100.0 * s.test_accuracy, 1));
     while (row.size() < epochs + 1) row.push_back("-");
     table.add_row(row);
@@ -66,13 +74,19 @@ int main(int argc, char** argv) {
           cc.seed = trial.seed;
           core::Corrupter corrupter(cc);
           core::InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
+          core::ExperimentRunner::ProbedResume probed =
+              runner.resume_training_probed(ckpt);
+          const nn::TrainResult& res = probed.result;
+          const obs::DivergenceTrace div =
+              runner.divergence_vs_clean(probed.probes);
           if (trial.index == 0) {
-            // Save the first trial's log for equivalent injection (fig 5).
+            // Save the first trial's log for equivalent injection (fig 5),
+            // with its divergence trace attached for forensics.
             rep.log.set_meta("framework", "chainer");
             rep.log.set_meta("model", "alexnet");
+            rep.log.set_divergence(div.to_json());
             rep.log.save("fig4_log_" + layer + ".json");
           }
-          const nn::TrainResult res = runner.resume_training(ckpt);
           auto& acc = trial_acc[trial.index];
           for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e)
             acc.push_back(res.epochs[e].test_accuracy);
@@ -81,10 +95,14 @@ int main(int argc, char** argv) {
             row["cell"] = cell;
             row["trial"] = trial.index;
             row["seed"] = std::to_string(trial.seed);
+            row["collapsed"] = res.collapsed;
             row["final_accuracy"] = res.final_accuracy;
+            row["clean_accuracy"] = clean.result.final_accuracy;
             Json traj = Json::array();
             for (const double a : acc) traj.push_back(a);
             row["accuracy"] = std::move(traj);
+            row["log"] = rep.log.to_json();
+            row["divergence"] = div.to_json();
             rows[trial.index] = std::move(row);
           }
         });

@@ -6,9 +6,16 @@
 // injected layer: first-layer injection spreads the widest, the middle
 // layer absorbs, the last layer sits in between.
 //
+// On top of the end-of-training weight diff, each trial resumes with
+// numeric-health probes attached and its divergence trace (obs/probes.hpp)
+// is consumed directly: the forensics table shows *when* the corruption
+// first left the injected layer (first divergent step/point), how many
+// layers it reached (propagation depth), and whether/where NaNs appeared —
+// the step-resolved view the weight diff alone cannot give.
+//
 // The per-layer campaigns fan out on core::TrialScheduler (--jobs N): one
-// trial per layer, boxplot stats land in index slots and rows are emitted
-// in layer order, so output is --jobs invariant.
+// trial per layer, results land in index slots and rows are emitted in
+// layer order, so output is --jobs invariant.
 #include <cmath>
 
 #include "bench/common.hpp"
@@ -27,12 +34,13 @@ int main(int argc, char** argv) {
 
   core::ExperimentRunner runner(
       bench::make_config(opt, "tensorflow", "alexnet"));
-  const std::size_t compare_epoch = runner.config().total_epochs;
 
-  // Error-free weights at the comparison epoch (paper: epoch 30 = inject at
-  // 20 + 10 epochs of training).
-  const auto clean_weights =
-      runner.weights_of(runner.checkpoint_at(compare_epoch));
+  // Error-free twin: the clean probed resume provides both the comparison
+  // weights (same restart => same zeroed optimizer velocity as the corrupted
+  // trials, so every nonzero diff is injection-caused) and the baseline
+  // probe timeline divergence traces are measured against.
+  const core::ExperimentRunner::CleanProbedRun& clean =
+      runner.clean_probed_run();
 
   const std::vector<std::pair<std::string, std::string>> layers = {
       {"first (conv1)", "conv1"},
@@ -41,6 +49,9 @@ int main(int argc, char** argv) {
 
   core::TextTable table({"injected layer", "diff weights", "q1", "median",
                          "q3", "whisker-lo", "whisker-hi", "outliers"});
+  core::TextTable forensics({"injected layer", "first div step",
+                             "first div point", "depth", "points", "nan onset",
+                             "inf onset"});
 
   auto model = runner.make_model();
   core::ModelContext ctx = runner.make_context(*model);
@@ -48,6 +59,7 @@ int main(int argc, char** argv) {
   struct LayerResult {
     std::size_t n_diffs = 0;
     BoxplotStats box{};
+    obs::DivergenceTrace div;
   };
   std::vector<LayerResult> results(layers.size());
   std::vector<Json> rows(layers.size());
@@ -66,54 +78,78 @@ int main(int argc, char** argv) {
         core::Corrupter corrupter(cc);
         corrupter.corrupt(ckpt, &ctx);
 
-        auto [res, trained] = runner.resume_training_with_model(ckpt);
-        (void)res;
+        core::ExperimentRunner::ProbedResume probed =
+            runner.resume_training_probed(ckpt);
 
         // Differences between corrupted-then-trained weights and the clean
         // twin; only weights with differences are used (paper).
         std::vector<double> diffs;
-        for (const auto& p : trained->params()) {
-          const auto& clean = clean_weights.at(p.name);
-          for (std::size_t i = 0; i < clean.size(); ++i) {
-            const double d = (*p.value)[i] - clean[i];
+        for (const auto& p : probed.model->params()) {
+          const auto& clean_w = clean.final_weights.at(p.name);
+          for (std::size_t i = 0; i < clean_w.size(); ++i) {
+            const double d = (*p.value)[i] - clean_w[i];
             if (d != 0.0 && std::isfinite(d)) diffs.push_back(std::fabs(d));
           }
         }
         LayerResult& slot = results[trial.index];
         slot.n_diffs = diffs.size();
         if (!diffs.empty()) slot.box = boxplot_stats(diffs);
+        slot.div = runner.divergence_vs_clean(probed.probes);
         if (trials_out.enabled()) {
           Json row = Json::object();
           row["cell"] = "fig6/propagation";
           row["trial"] = trial.index;
           row["seed"] = std::to_string(trial.seed);
           row["layer"] = layer;
+          row["collapsed"] = probed.result.collapsed;
+          row["final_accuracy"] = probed.result.final_accuracy;
+          row["clean_accuracy"] = clean.result.final_accuracy;
           row["diff_weights"] = diffs.size();
           row["median"] = diffs.empty() ? 0.0 : slot.box.median;
+          row["divergence"] = slot.div.to_json();
           rows[trial.index] = std::move(row);
         }
         std::printf(".");
         std::fflush(stdout);
       });
   trials_out.flush_cell(rows);
+  const auto onset_str = [](const obs::OnsetCoord& o) {
+    if (o.step < 0) return std::string("-");
+    return "s" + std::to_string(o.step) + " " + o.layer + "/" +
+           obs::probe_phase_name(o.phase);
+  };
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const LayerResult& r = results[i];
     if (r.n_diffs == 0) {
       table.add_row({layers[i].first, "0", "-", "-", "-", "-", "-", "-"});
-      continue;
+    } else {
+      table.add_row({layers[i].first, std::to_string(r.n_diffs),
+                     format_fixed(r.box.q1, 6), format_fixed(r.box.median, 6),
+                     format_fixed(r.box.q3, 6),
+                     format_fixed(r.box.whisker_lo, 6),
+                     format_fixed(r.box.whisker_hi, 6),
+                     std::to_string(r.box.n_outliers)});
     }
-    table.add_row({layers[i].first, std::to_string(r.n_diffs),
-                   format_fixed(r.box.q1, 6), format_fixed(r.box.median, 6),
-                   format_fixed(r.box.q3, 6),
-                   format_fixed(r.box.whisker_lo, 6),
-                   format_fixed(r.box.whisker_hi, 6),
-                   std::to_string(r.box.n_outliers)});
+    if (!r.div.diverged) {
+      forensics.add_row(
+          {layers[i].first, "-", "-", "0", "0", "-", "-"});
+    } else {
+      forensics.add_row(
+          {layers[i].first, std::to_string(r.div.first_step),
+           r.div.first_layer + "/" + obs::probe_phase_name(r.div.first_phase),
+           std::to_string(r.div.depth), std::to_string(r.div.points_diverged),
+           onset_str(r.div.nan_onset), onset_str(r.div.inf_onset)});
+    }
   }
   std::printf("\n\n%s\n", table.str().c_str());
+  std::printf("propagation forensics (from the probe divergence traces):\n%s\n",
+              forensics.str().c_str());
   std::printf(
       "paper shape: first-layer injection shows the widest difference "
       "range; the (large) middle layer absorbs flips and shows the "
       "narrowest; the last layer sits between, limited by reduced "
-      "backpropagation reach.\n");
+      "backpropagation reach. the forensics table gives the step-resolved "
+      "view: depth = distinct layers whose probe stats left the clean "
+      "trajectory.\n");
   return 0;
 }

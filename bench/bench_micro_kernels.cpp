@@ -23,7 +23,10 @@
 #include <vector>
 
 #include "bench/micro_common.hpp"
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
 #include "obs/obs.hpp"
+#include "obs/probes.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
@@ -225,6 +228,60 @@ void BM_GemmBtFast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemmBtFast);
+
+// --------------------------------------------------------------------------
+// Probe overhead: one training step (forward + backward) of an MLP with and
+// without an obs::Probes sink installed. "Off" is the instrumented-but-idle
+// cost every unprobed training pays — one thread-local pointer load per
+// container pass; "on" adds the per-layer stat recording. Each iteration
+// uses a fresh Probes, so the "on" side also pays step-0 layout learning:
+// an upper bound on the steady-state recording cost. The EXPERIMENTS.md
+// probe-overhead snapshot comes from this pair.
+
+void build_probe_mlp(nn::Sequential& net, Rng& rng) {
+  net.emplace<nn::Dense>("fc1", 256, 256);
+  net.emplace<nn::ReLU>("relu1");
+  net.emplace<nn::Dense>("fc2", 256, 256);
+  net.emplace<nn::ReLU>("relu2");
+  net.emplace<nn::Dense>("fc3", 256, 10);
+  net.init_params(rng);
+}
+
+void train_step(nn::Sequential& net, const Tensor& x, const Tensor& dy) {
+  Tensor y = net.forward(x, /*training=*/true);
+  benchmark::DoNotOptimize(y.data());
+  Tensor dx = net.backward(dy);
+  benchmark::DoNotOptimize(dx.data());
+}
+
+void BM_TrainStepProbesOff(benchmark::State& state) {
+  Rng rng(6);
+  nn::Sequential net("mlp");
+  build_probe_mlp(net, rng);
+  const Tensor x = random_tensor({16, 256}, rng);
+  const Tensor dy = random_tensor({16, 10}, rng);
+  set_kernel_backend(KernelBackend::kFast);
+  for (auto _ : state) train_step(net, x, dy);
+}
+BENCHMARK(BM_TrainStepProbesOff);
+
+void BM_TrainStepProbesOn(benchmark::State& state) {
+  Rng rng(6);
+  nn::Sequential net("mlp");
+  build_probe_mlp(net, rng);
+  const Tensor x = random_tensor({16, 256}, rng);
+  const Tensor dy = random_tensor({16, 10}, rng);
+  set_kernel_backend(KernelBackend::kFast);
+  for (auto _ : state) {
+    obs::Probes probes;
+    probes.set_expected_steps(1);
+    obs::Probes::Scope scope(probes);
+    probes.begin_step(0);
+    train_step(net, x, dy);
+    benchmark::DoNotOptimize(probes.num_steps());
+  }
+}
+BENCHMARK(BM_TrainStepProbesOn);
 
 }  // namespace
 

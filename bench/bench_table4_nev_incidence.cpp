@@ -30,8 +30,11 @@ int main(int argc, char** argv) {
     for (const auto& model : models::model_names()) {
       core::ExperimentRunner runner(bench::make_config(opt, framework, model));
       // Train the baseline and snapshot the restart checkpoint before the
-      // fan-out, so trials start from a warm immutable cache.
+      // fan-out, so trials start from a warm immutable cache; the clean
+      // probed run is likewise memoized up front so trials only read it.
       runner.restart_checkpoint();
+      const core::ExperimentRunner::CleanProbedRun& clean =
+          runner.clean_probed_run(opt.resume_epochs);
       for (const std::uint64_t rate : rates) {
         const std::string cell =
             framework + "/" + model + "/" + std::to_string(rate);
@@ -48,17 +51,22 @@ int main(int argc, char** argv) {
               cc.seed = trial.seed;
               core::Corrupter corrupter(cc);
               core::InjectionReport rep = corrupter.corrupt(ckpt);
-              const nn::TrainResult res =
-                  runner.resume_training(ckpt, opt.resume_epochs);
+              core::ExperimentRunner::ProbedResume probed =
+                  runner.resume_training_probed(ckpt, opt.resume_epochs);
+              const nn::TrainResult& res = probed.result;
               collapsed[trial.index] = res.collapsed ? 1 : 0;
               if (trials_out.enabled()) {
+                const obs::DivergenceTrace div = runner.divergence_vs_clean(
+                    probed.probes, opt.resume_epochs);
                 Json row = Json::object();
                 row["cell"] = cell;
                 row["trial"] = trial.index;
                 row["seed"] = std::to_string(trial.seed);
                 row["collapsed"] = res.collapsed;
                 row["final_accuracy"] = res.final_accuracy;
+                row["clean_accuracy"] = clean.result.final_accuracy;
                 row["log"] = rep.log.to_json();
+                row["divergence"] = div.to_json();
                 rows[trial.index] = std::move(row);
               }
             });

@@ -6,7 +6,10 @@
 // flips (RWC 46-98.8%).
 //
 // Each cell's trials fan out on core::TrialScheduler (--jobs N); the clean
-// baseline is computed once before the fan-out so trials only read it.
+// baseline is computed once before the fan-out so trials only read it. Every
+// resume carries numeric-health probes, so non-RWC trials come with a
+// divergence trace (first-divergent layer/step) in --trials-out — enough for
+// ckptfi_report to split absorbed flips from silent corruptions.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "frameworks/framework.hpp"
@@ -27,10 +30,10 @@ int main(int argc, char** argv) {
   for (const auto& model : models::model_names()) {
     for (const auto& framework : fw::framework_names()) {
       core::ExperimentRunner runner(bench::make_config(opt, framework, model));
-      // Deterministic baseline: the clean resumed accuracy trajectory.
-      const nn::TrainResult clean =
-          runner.resume_training(runner.restart_checkpoint(),
-                                 opt.resume_epochs);
+      // Deterministic baseline: the clean resumed accuracy trajectory plus
+      // the probe timeline trials diverge against.
+      const core::ExperimentRunner::CleanProbedRun& clean =
+          runner.clean_probed_run(opt.resume_epochs);
       const std::string cell = framework + "/" + model;
       std::vector<std::uint8_t> rwc_flags(opt.trainings, 0);
       std::vector<Json> rows(opt.trainings);
@@ -45,18 +48,24 @@ int main(int argc, char** argv) {
             cc.seed = trial.seed;
             core::Corrupter corrupter(cc);
             core::InjectionReport rep = corrupter.corrupt(ckpt);
-            const nn::TrainResult res =
-                runner.resume_training(ckpt, opt.resume_epochs);
+            core::ExperimentRunner::ProbedResume probed =
+                runner.resume_training_probed(ckpt, opt.resume_epochs);
+            const nn::TrainResult& res = probed.result;
             rwc_flags[trial.index] =
-                (res.final_accuracy == clean.final_accuracy) ? 1 : 0;
+                (res.final_accuracy == clean.result.final_accuracy) ? 1 : 0;
             if (trials_out.enabled()) {
+              const obs::DivergenceTrace div =
+                  runner.divergence_vs_clean(probed.probes, opt.resume_epochs);
               Json row = Json::object();
               row["cell"] = cell;
               row["trial"] = trial.index;
               row["seed"] = std::to_string(trial.seed);
               row["rwc"] = rwc_flags[trial.index] != 0;
+              row["collapsed"] = res.collapsed;
               row["final_accuracy"] = res.final_accuracy;
+              row["clean_accuracy"] = clean.result.final_accuracy;
               row["log"] = rep.log.to_json();
+              row["divergence"] = div.to_json();
               rows[trial.index] = std::move(row);
             }
           });

@@ -23,6 +23,9 @@
 //   --trials-out=PATH  write one JSON line per trial (outcome + injection
 //                      log) — the determinism artifact: identical across
 //                      --jobs values by construction
+//   --progress=N       heartbeat: print trials done/total, p50 trial time
+//                      and ETA to stderr every ~N seconds while a campaign
+//                      runs (0 = off, the default)
 #pragma once
 
 #include <cstdio>
@@ -50,6 +53,7 @@ struct BenchOptions {
   std::size_t resume_epochs = 1;
   std::uint64_t seed = 42;
   std::size_t jobs = 1;   ///< campaign fan-out (trials in flight per cell)
+  std::size_t progress = 0;  ///< heartbeat period in seconds (0 = silent)
   std::string json_out;   ///< metrics snapshot destination ("" = don't emit)
   std::string trace_out;  ///< Chrome trace destination ("" = don't record)
   std::string trials_out; ///< per-trial JSONL destination ("" = don't emit)
@@ -153,6 +157,8 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       o.seed = val;
     } else if (key == "jobs") {
       o.jobs = val == 0 ? 1 : val;
+    } else if (key == "progress") {
+      o.progress = val;
     } else {
       std::fprintf(stderr, "unknown option --%s\n", key.c_str());
       std::exit(2);
@@ -176,6 +182,8 @@ inline core::TrialScheduler make_scheduler(const BenchOptions& o,
   core::TrialScheduler::Config sc;
   sc.jobs = o.jobs;
   sc.campaign_seed = campaign_seed(o, cell);
+  sc.progress_interval_s = static_cast<double>(o.progress);
+  sc.progress_label = cell;
   return core::TrialScheduler(sc);
 }
 

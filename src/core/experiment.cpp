@@ -113,12 +113,18 @@ const nn::TrainResult& ExperimentRunner::clean_resume() {
 
 nn::TrainResult ExperimentRunner::resume_training(const mh5::File& ckpt,
                                                   std::size_t epochs) {
-  return resume_training_with_model(ckpt, epochs).first;
+  return resume_impl(ckpt, epochs, /*probes=*/nullptr).first;
 }
 
 std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
 ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
                                              std::size_t epochs) {
+  return resume_impl(ckpt, epochs, /*probes=*/nullptr);
+}
+
+std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
+ExperimentRunner::resume_impl(const mh5::File& ckpt, std::size_t epochs,
+                              obs::Probes* probes) {
   obs::Span span("experiment.resume", "resume", "experiment.resume_time");
   obs::counter_add("experiment.resumes");
   const auto from_epoch =
@@ -135,11 +141,58 @@ ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
   tc.epochs = epochs;
   tc.sgd = cfg_.sgd;
   nn::Trainer trainer(*model, tc);
+  if (probes != nullptr) {
+    // Pre-size the timeline so steady-state recording never allocates; a
+    // collapsed run just uses fewer steps than reserved.
+    const std::size_t steps_per_epoch =
+        (data_.train.size() + cfg_.batch_size - 1) / cfg_.batch_size;
+    probes->set_expected_steps(epochs * steps_per_epoch);
+    trainer.set_probes(probes);
+  }
   // Like the paper's checkpoints, ours hold weights only: optimizer velocity
   // restarts at zero on resume (the source of Fig. 3b's slight bump).
   nn::TrainResult result =
       trainer.fit(train_loader_->provider(), test_batches_, from_epoch);
   return {std::move(result), std::move(model)};
+}
+
+std::size_t ExperimentRunner::resolve_resume_epochs(std::size_t epochs) const {
+  if (epochs != 0) return epochs;
+  require(cfg_.total_epochs > cfg_.restart_epoch,
+          "resolve_resume_epochs: restart at/past total_epochs");
+  return cfg_.total_epochs - cfg_.restart_epoch;
+}
+
+ExperimentRunner::ProbedResume ExperimentRunner::resume_training_probed(
+    const mh5::File& ckpt, std::size_t epochs) {
+  ProbedResume out;
+  auto [result, model] = resume_impl(ckpt, epochs, &out.probes);
+  out.result = std::move(result);
+  out.model = std::move(model);
+  return out;
+}
+
+const ExperimentRunner::CleanProbedRun& ExperimentRunner::clean_probed_run(
+    std::size_t epochs) {
+  const std::size_t resolved = resolve_resume_epochs(epochs);
+  std::lock_guard lock(clean_mu_);
+  auto hit = clean_probed_.find(resolved);
+  if (hit == clean_probed_.end()) {
+    const mh5::File ckpt = restart_checkpoint();
+    ProbedResume run = resume_training_probed(ckpt, resolved);
+    CleanProbedRun clean;
+    clean.result = std::move(run.result);
+    clean.probes = std::move(run.probes);
+    for (const auto& p : run.model->params())
+      clean.final_weights[p.name] = p.value->vec();
+    hit = clean_probed_.emplace(resolved, std::move(clean)).first;
+  }
+  return hit->second;
+}
+
+obs::DivergenceTrace ExperimentRunner::divergence_vs_clean(
+    const obs::Probes& trial, std::size_t epochs) {
+  return obs::diverge(clean_probed_run(epochs).probes, trial);
 }
 
 nn::EvalResult ExperimentRunner::predict(const mh5::File& ckpt) {

@@ -29,6 +29,7 @@
 #include "frameworks/framework.hpp"
 #include "models/models.hpp"
 #include "nn/trainer.hpp"
+#include "obs/probes.hpp"
 
 namespace ckptfi::core {
 
@@ -86,6 +87,38 @@ class ExperimentRunner {
   std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
   resume_training_with_model(const mh5::File& ckpt, std::size_t epochs = 0);
 
+  /// A resumed training with its per-step numeric-health timeline attached
+  /// (one probe step per training batch, counted from the resume point).
+  struct ProbedResume {
+    nn::TrainResult result;
+    obs::Probes probes;
+    std::unique_ptr<nn::Model> model;
+  };
+
+  /// resume_training_with_model plus probes. Probed and unprobed resumes of
+  /// the same checkpoint produce bit-identical weights and TrainResults —
+  /// probes only observe.
+  ProbedResume resume_training_probed(const mh5::File& ckpt,
+                                      std::size_t epochs = 0);
+
+  /// The clean baseline a probed trial diverges from: restart checkpoint
+  /// resumed for `epochs` epochs (total_epochs - restart_epoch when 0) with
+  /// probes attached. Computed once per distinct epoch count and memoized —
+  /// the divergence-trace analogue of clean_resume().
+  struct CleanProbedRun {
+    nn::TrainResult result;
+    obs::Probes probes;
+    /// Canonical-name -> values of the final clean weights (paper Fig. 6's
+    /// comparison baseline), snapshotted so the memo need not keep the model.
+    std::map<std::string, std::vector<double>> final_weights;
+  };
+  const CleanProbedRun& clean_probed_run(std::size_t epochs = 0);
+
+  /// Divergence trace of a trial's probe timeline against the memoized clean
+  /// baseline over the same resume length.
+  obs::DivergenceTrace divergence_vs_clean(const obs::Probes& trial,
+                                           std::size_t epochs = 0);
+
   /// Load `ckpt` and evaluate on the full test set (paper Table VIII uses
   /// prediction-only runs). NaN logits count as N-EV.
   nn::EvalResult predict(const mh5::File& ckpt);
@@ -105,6 +138,13 @@ class ExperimentRunner {
 
   void cache_baseline_snapshot();
 
+  /// Shared resume path; records into `probes` when non-null.
+  std::pair<nn::TrainResult, std::unique_ptr<nn::Model>> resume_impl(
+      const mh5::File& ckpt, std::size_t epochs, obs::Probes* probes);
+
+  /// Epochs actually resumed when callers pass 0 ("to total_epochs").
+  std::size_t resolve_resume_epochs(std::size_t epochs) const;
+
   ExperimentConfig cfg_;
   std::unique_ptr<fw::FrameworkAdapter> adapter_;
   data::TrainTestSplit data_;
@@ -120,10 +160,13 @@ class ExperimentRunner {
   std::map<std::size_t, std::shared_ptr<const std::vector<std::uint8_t>>>
       ckpt_cache_;
   std::optional<nn::TrainResult> clean_resume_;
+  /// Clean probed baselines, one per distinct resume length requested.
+  std::map<std::size_t, CleanProbedRun> clean_probed_;
   /// Guards baseline_{model_,trainer_,epoch_} and ckpt_cache_.
   std::mutex baseline_mu_;
-  /// Guards the clean_resume_ memo. Separate from baseline_mu_ because
-  /// computing it calls checkpoint_at (which takes baseline_mu_).
+  /// Guards the clean_resume_ and clean_probed_ memos. Separate from
+  /// baseline_mu_ because computing them calls checkpoint_at (which takes
+  /// baseline_mu_).
   std::mutex clean_mu_;
 };
 

@@ -76,6 +76,7 @@ Json InjectionLog::to_json() const {
   Json arr = Json::array();
   for (const auto& r : records_) arr.push_back(r.to_json());
   j["injections"] = arr;
+  if (!divergence_.is_null()) j["divergence"] = divergence_;
   return j;
 }
 
@@ -88,6 +89,7 @@ InjectionLog InjectionLog::from_json(const Json& j) {
   require(j.contains("injections"), "InjectionLog: missing 'injections'");
   for (const auto& r : j.at("injections").items())
     log.add(InjectionRecord::from_json(r));
+  if (j.contains("divergence")) log.set_divergence(j.at("divergence"));
   return log;
 }
 

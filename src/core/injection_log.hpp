@@ -66,6 +66,14 @@ class InjectionLog {
   void set_meta(const std::string& key, const std::string& value);
   std::string meta(const std::string& key) const;  ///< "" when absent
 
+  /// Divergence trace of the trial this log's injections produced
+  /// (obs::DivergenceTrace::to_json()) — where the corruption went, attached
+  /// after the resumed training has been compared against its clean
+  /// baseline. Null until set.
+  void set_divergence(Json trace) { divergence_ = std::move(trace); }
+  const Json& divergence() const { return divergence_; }
+  bool has_divergence() const { return !divergence_.is_null(); }
+
   Json to_json() const;
   static InjectionLog from_json(const Json& j);
 
@@ -75,6 +83,7 @@ class InjectionLog {
  private:
   std::vector<InjectionRecord> records_;
   std::vector<std::pair<std::string, std::string>> meta_;
+  Json divergence_;  ///< null when the trial was not divergence-traced
 };
 
 }  // namespace ckptfi::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/probes.hpp"
 #include "util/common.hpp"
 
 namespace ckptfi::nn {
@@ -14,14 +15,30 @@ Sequential& Sequential::add(LayerPtr layer) {
 
 Tensor Sequential::forward(const Tensor& x, bool training) {
   Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, training);
+  // Numeric-health probes observe each layer's output when a trial has a
+  // probe scope installed on this thread (obs/probes.hpp). Observation-only:
+  // the probed and unprobed paths run the same layer calls in the same
+  // order, so checkpoints stay bit-identical either way.
+  obs::Probes* probes = training ? obs::Probes::current() : nullptr;
+  for (auto& l : layers_) {
+    h = l->forward(h, training);
+    if (probes != nullptr) {
+      probes->record(l->name(), obs::ProbePhase::kForward, h.data(),
+                     h.numel());
+    }
+  }
   return h;
 }
 
 Tensor Sequential::backward(const Tensor& dy) {
   Tensor g = dy;
+  obs::Probes* probes = obs::Probes::current();
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(g);
+    if (probes != nullptr) {
+      probes->record((*it)->name(), obs::ProbePhase::kBackward, g.data(),
+                     g.numel());
+    }
   }
   return g;
 }

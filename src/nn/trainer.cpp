@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "obs/obs.hpp"
 #include "tensor/workspace.hpp"
@@ -16,11 +17,21 @@ std::pair<double, double> Trainer::train_epoch(
   double acc_sum = 0.0;
   for (const Batch& b : batches) {
     obs::Span span("trainer.batch", "train", "trainer.batch_time");
+    // The probe scope covers exactly the forward/backward passes: one step
+    // per batch, id'd by the cross-epoch batch counter so resumed timelines
+    // align step-for-step with the clean baseline's.
+    std::optional<obs::Probes::Scope> probe_scope;
+    if (probes_ != nullptr) {
+      probes_->begin_step(probe_step_);
+      probe_scope.emplace(*probes_);
+    }
+    ++probe_step_;
     Tensor logits = model_.forward(b.x, /*training=*/true);
     LossResult lr = softmax_cross_entropy(logits, b.y);
     loss_sum += lr.loss;
     acc_sum += accuracy(logits, b.y);
     model_.backward(lr.dlogits);
+    probe_scope.reset();
     opt_.step(model_.params());
     // Coalesce this thread's kernel arena at the batch boundary: after the
     // first batch warmed it up, later batches run allocation-free.

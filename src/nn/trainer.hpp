@@ -12,6 +12,7 @@
 #include "nn/loss.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/probes.hpp"
 
 namespace ckptfi::nn {
 
@@ -69,10 +70,21 @@ class Trainer {
 
   Sgd& optimizer() { return opt_; }
 
+  /// Attach a numeric-health probe timeline (obs/probes.hpp): every training
+  /// batch becomes one probe step recording per-layer forward/backward
+  /// stats. Observation-only — probed and unprobed trainings produce
+  /// bit-identical weights. The probes must outlive the trainer's use;
+  /// nullptr (the default) detaches.
+  void set_probes(obs::Probes* probes) { probes_ = probes; }
+
  private:
   Model& model_;
   TrainConfig cfg_;
   Sgd opt_;
+  obs::Probes* probes_ = nullptr;
+  /// Global batch counter across train_epoch calls — the probe step id, so
+  /// a resumed run's timeline lines up step-for-step with the clean twin.
+  std::uint64_t probe_step_ = 0;
 };
 
 /// Accuracy of `model` over `batches` (eval mode). NaN logits count as wrong.

@@ -6,10 +6,16 @@
 //   trace.hpp     scoped spans -> Chrome trace JSON (where time goes)
 //   events.hpp    structured JSONL domain events    (what happened when)
 //
+// A fourth facility, probes.hpp (per-layer numeric-health timelines and
+// divergence tracing), is scoped per trial via Probes::Scope rather than a
+// process-wide flag; with no scope installed it costs one thread-local load
+// per container forward/backward.
+//
 // See docs/OBSERVABILITY.md for naming conventions and how to view traces.
 #pragma once
 
 #include "obs/events.hpp"
+#include "obs/probes.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/common.hpp"
 
@@ -350,11 +351,14 @@ class Parser {
       auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
       if (ec == std::errc() && p == tok.data() + tok.size()) return Json(v);
     }
-    try {
-      return Json(std::stod(tok));
-    } catch (...) {
-      fail("bad number '" + tok + "'");
-    }
+    // strtod, not stod: stod throws out_of_range on gradual underflow, but
+    // subnormal doubles (e.g. tiny relative deviations near 1e-316) are
+    // legitimate dump() output and must round-trip. strtod returns the
+    // subnormal (or signed zero) instead.
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("bad number '" + tok + "'");
+    return Json(d);
   }
 
   Json array() {

@@ -114,6 +114,28 @@ TEST(InjectionLog, ClearAndEmpty) {
   EXPECT_TRUE(log.empty());
 }
 
+TEST(InjectionLog, DivergenceTraceRoundTrip) {
+  InjectionLog log;
+  log.add(sample_record());
+  EXPECT_FALSE(log.has_divergence());
+  EXPECT_FALSE(log.to_json().contains("divergence"));
+
+  Json trace = Json::object();
+  trace["diverged"] = true;
+  trace["first_step"] = 12;
+  trace["first_layer"] = "conv1";
+  trace["depth"] = 3;
+  log.set_divergence(trace);
+  ASSERT_TRUE(log.has_divergence());
+
+  const InjectionLog back = InjectionLog::from_json(log.to_json());
+  ASSERT_TRUE(back.has_divergence());
+  EXPECT_TRUE(back.divergence().at("diverged").as_bool());
+  EXPECT_EQ(back.divergence().at("first_step").as_int(), 12);
+  EXPECT_EQ(back.divergence().at("first_layer").as_string(), "conv1");
+  EXPECT_EQ(back.divergence().at("depth").as_int(), 3);
+}
+
 TEST(InjectionLog, NonFiniteValuesSerializable) {
   // Corrupted values are frequently NaN/Inf: the log must still round-trip
   // (values become strings; the replay only needs location/index/bits).

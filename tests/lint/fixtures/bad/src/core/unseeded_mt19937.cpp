@@ -1,0 +1,11 @@
+// Fixture: det-rng-unseeded-mt19937 — default-constructed twisters in a
+// deterministic module, declaration and empty-brace forms.
+namespace fixture {
+
+double draw() {
+  std::mt19937 gen;
+  std::mt19937_64 wide{};
+  return static_cast<double>(gen() ^ wide());
+}
+
+}  // namespace fixture

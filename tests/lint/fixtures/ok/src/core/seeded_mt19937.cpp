@@ -1,0 +1,12 @@
+// Fixture: clean counterpart of det-rng-unseeded-mt19937 — every twister is
+// seeded explicitly from the trial stream.
+namespace fixture {
+
+double draw(std::uint64_t campaign_seed, std::uint64_t trial) {
+  std::mt19937 gen(static_cast<unsigned>(
+      ckptfi::core::trial_seed(campaign_seed, trial)));
+  std::mt19937_64 wide{ckptfi::core::trial_seed(campaign_seed, trial + 1)};
+  return static_cast<double>(gen() ^ wide());
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: an unseeded twister neutralised by a reasoned allow.
+namespace fixture {
+
+// ckptfi-lint: allow(det-rng-unseeded-mt19937) fixture: exercising suppression of the unseeded-twister rule
+std::mt19937 default_stream;
+
+}  // namespace fixture

@@ -1,0 +1,219 @@
+// ckptfi-report: classifier and aggregator units, plus the acceptance check
+// the PR's forensics story hangs on — a live bench_table4 run's own N-EV
+// table must be reproducible from its --trials-out JSONL artifact alone.
+#include "report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckptfi::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+Json parse(const std::string& text) { return Json::parse(text); }
+
+TEST(ClassifyTrial, SignalPrecedence) {
+  EXPECT_EQ(classify_trial(parse("{}")), Outcome::kUnknown);
+  // Collapse wins over everything else.
+  EXPECT_EQ(classify_trial(parse(R"({"collapsed":true,"rwc":true})")),
+            Outcome::kNev);
+  EXPECT_EQ(classify_trial(parse(R"({"collapsed":false,"rwc":true})")),
+            Outcome::kMasked);
+  EXPECT_EQ(classify_trial(parse(R"({"collapsed":false,"rwc":false})")),
+            Outcome::kSdc);
+  // Bitwise accuracy comparison against the clean twin.
+  EXPECT_EQ(classify_trial(
+                parse(R"({"final_accuracy":0.5,"clean_accuracy":0.5})")),
+            Outcome::kMasked);
+  EXPECT_EQ(classify_trial(
+                parse(R"({"final_accuracy":0.25,"clean_accuracy":0.5})")),
+            Outcome::kSdc);
+  // Divergence trace is the weakest signal.
+  EXPECT_EQ(classify_trial(parse(R"({"divergence":{"diverged":true}})")),
+            Outcome::kSdc);
+  EXPECT_EQ(classify_trial(parse(R"({"divergence":{"diverged":false}})")),
+            Outcome::kMasked);
+}
+
+std::vector<Json> sample_rows() {
+  std::vector<Json> rows;
+  rows.push_back(parse(R"({
+    "cell": "a", "collapsed": true,
+    "log": {"injections": [{"layer": "conv1", "bits": [3, 62]}]}
+  })"));
+  rows.push_back(parse(R"({
+    "cell": "a", "collapsed": false,
+    "final_accuracy": 0.5, "clean_accuracy": 0.5,
+    "log": {"injections": [{"location": "predictor/fc8/W", "bits": [3]}]},
+    "divergence": {"diverged": false, "depth": 0, "nan_onset": null}
+  })"));
+  rows.push_back(parse(R"({
+    "cell": "b", "collapsed": false,
+    "final_accuracy": 0.25, "clean_accuracy": 0.5,
+    "divergence": {"diverged": true, "depth": 2,
+                   "nan_onset": {"step": 4, "layer": "conv1"}}
+  })"));
+  return rows;
+}
+
+TEST(Analyze, AggregatesCellsLayersBitsAndDepths) {
+  const Analysis a = analyze(sample_rows());
+  EXPECT_EQ(a.total.trials, 3u);
+  EXPECT_EQ(a.total.nev, 1u);
+  EXPECT_EQ(a.total.masked, 1u);
+  EXPECT_EQ(a.total.sdc, 1u);
+  EXPECT_EQ(a.total.unknown, 0u);
+
+  ASSERT_EQ(a.by_cell.size(), 2u);
+  EXPECT_EQ(a.by_cell.at("a").trials, 2u);
+  EXPECT_EQ(a.by_cell.at("a").nev, 1u);
+  EXPECT_EQ(a.by_cell.at("b").sdc, 1u);
+
+  // Canonical layer when recorded, raw location otherwise.
+  ASSERT_EQ(a.by_layer.size(), 2u);
+  EXPECT_EQ(a.by_layer.at("conv1").nev, 1u);
+  EXPECT_EQ(a.by_layer.at("predictor/fc8/W").masked, 1u);
+
+  ASSERT_EQ(a.by_bit.size(), 2u);
+  EXPECT_EQ(a.by_bit.at(3).trials, 2u);
+  EXPECT_EQ(a.by_bit.at(62).trials, 1u);
+
+  EXPECT_EQ(a.with_divergence, 2u);
+  EXPECT_EQ(a.diverged, 1u);
+  EXPECT_EQ(a.nan_onsets, 1u);  // null onset in row 2 does not count
+  ASSERT_EQ(a.depth_histogram.size(), 2u);
+  EXPECT_EQ(a.depth_histogram.at(0), 1u);
+  EXPECT_EQ(a.depth_histogram.at(2), 1u);
+
+  const Json j = a.to_json();
+  EXPECT_EQ(j.at("total").at("nev").as_int(), 1);
+  EXPECT_EQ(j.at("by_cell").at("a").at("trials").as_int(), 2);
+  EXPECT_EQ(j.at("depth_histogram").at("2").as_int(), 1);
+}
+
+TEST(RenderText, CarriesAllSections) {
+  const std::string text = render_text(analyze(sample_rows()));
+  EXPECT_NE(text.find("3 trials"), std::string::npos);
+  EXPECT_NE(text.find("per experiment cell:"), std::string::npos);
+  EXPECT_NE(text.find("per injected layer"), std::string::npos);
+  EXPECT_NE(text.find("per flipped bit position:"), std::string::npos);
+  EXPECT_NE(text.find("propagation depth"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);  // histogram bars
+}
+
+TEST(LoadJsonl, SkipsBlanksAndReportsLineNumbers) {
+  const fs::path path = fs::temp_directory_path() / "report_rows.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"cell":"a"})" << "\n\n  \n" << R"({"cell":"b"})" << "\n";
+  }
+  const std::vector<Json> rows = load_jsonl(path.string());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].at("cell").as_string(), "b");
+
+  {
+    std::ofstream out(path);
+    out << R"({"cell":"a"})" << "\n" << "{broken\n";
+  }
+  try {
+    load_jsonl(path.string());
+    FAIL() << "malformed line must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+  fs::remove(path);
+  EXPECT_THROW(load_jsonl("/nonexistent/rows.jsonl"), Error);
+}
+
+/// One parsed data row of bench_table4's printed N-EV table.
+struct Table4Row {
+  std::string cell;  ///< framework/model/rate — the bench's cell key
+  std::size_t trainings = 0;
+  std::size_t nev = 0;
+};
+
+std::vector<Table4Row> parse_table4(const std::string& text) {
+  std::vector<Table4Row> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream cols(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (cols >> t) tok.push_back(t);
+    // framework  model  bit-flips  trainings  N-EV  %
+    if (tok.size() != 6) continue;
+    if (tok[0] != "chainer" && tok[0] != "pytorch" && tok[0] != "tensorflow")
+      continue;
+    Table4Row row;
+    row.cell = tok[0] + "/" + tok[1] + "/" + tok[2];
+    row.trainings = std::stoul(tok[3]);
+    row.nev = std::stoul(tok[4]);
+    out.push_back(row);
+  }
+  return out;
+}
+
+// The PR's acceptance bar: run bench_table4 at tiny scale with --trials-out,
+// then reproduce its printed per-cell N-EV counts from the JSONL artifact
+// alone — no access to the bench's in-memory outcome vector.
+TEST(CkptfiReportAcceptance, ReproducesTable4NevCountsFromJsonlAlone) {
+  const fs::path jsonl = fs::temp_directory_path() / "report_t4_trials.jsonl";
+  const fs::path table = fs::temp_directory_path() / "report_t4_stdout.txt";
+  const std::string cmd = std::string("\"") + CKPTFI_BENCH_TABLE4 +
+                          "\" --trainings=2 --train-images=32 --test-images=16"
+                          " --width=2 --total-epochs=2 --restart-epoch=1"
+                          " --resume-epochs=1 --jobs=2 --trials-out=" +
+                          jsonl.string() + " > " + table.string();
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(table);
+  ASSERT_TRUE(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<Table4Row> printed = parse_table4(buf.str());
+  // 3 frameworks x 3 models x 4 bit-flip rates.
+  ASSERT_EQ(printed.size(), 36u) << buf.str();
+
+  const Analysis a = analyze(load_jsonl(jsonl.string()));
+  EXPECT_EQ(a.total.trials, 36u * 2u);
+  for (const Table4Row& row : printed) {
+    ASSERT_TRUE(a.by_cell.count(row.cell)) << row.cell;
+    const OutcomeCounts& c = a.by_cell.at(row.cell);
+    EXPECT_EQ(c.trials, row.trainings) << row.cell;
+    EXPECT_EQ(c.nev, row.nev) << row.cell;
+  }
+  // The corrupted resumes must have produced real divergence forensics too.
+  EXPECT_EQ(a.with_divergence, a.total.trials);
+  EXPECT_GT(a.diverged, 0u);
+
+  // And the CLI end-to-end: same artifact through the installed binary.
+  const fs::path json_out = fs::temp_directory_path() / "report_t4.json";
+  const std::string report_cmd = std::string("\"") + CKPTFI_REPORT_BIN +
+                                 "\" --json=" + json_out.string() + " " +
+                                 jsonl.string() + " > /dev/null";
+  ASSERT_EQ(std::system(report_cmd.c_str()), 0) << report_cmd;
+  std::ifstream jin(json_out);
+  ASSERT_TRUE(jin);
+  std::ostringstream jbuf;
+  jbuf << jin.rdbuf();
+  const Json j = Json::parse(jbuf.str());
+  EXPECT_EQ(static_cast<std::size_t>(j.at("total").at("nev").as_int()),
+            a.total.nev);
+
+  fs::remove(jsonl);
+  fs::remove(table);
+  fs::remove(json_out);
+}
+
+}  // namespace
+}  // namespace ckptfi::report

@@ -100,6 +100,7 @@ struct RawFinding {
 // ---------------------------------------------------------------- rules --
 
 constexpr char kDetRng[] = "det-rng-entropy";
+constexpr char kDetUnseededMt[] = "det-rng-unseeded-mt19937";
 constexpr char kDetUnordered[] = "det-unordered-container";
 constexpr char kNotifyUnderLock[] = "conc-notify-under-lock";
 constexpr char kAtomicFloat[] = "conc-atomic-float";
@@ -134,6 +135,36 @@ void check_rng_entropy(const std::vector<Token>& toks,
                          "' draws entropy/time from process state; trial "
                          "results would stop being a pure function of "
                          "(--seed, trial index)"});
+    }
+  }
+}
+
+/// det-rng-unseeded-mt19937: a default-constructed std::mt19937 in a
+/// deterministic module. The default stream is identical for every trial —
+/// which silently decorrelates nothing — and the usual "fix" is seeding from
+/// random_device, which breaks replay. Seeds must come from the trial
+/// stream, explicitly.
+void check_unseeded_mt19937(const std::vector<Token>& toks,
+                            std::vector<RawFinding>& out) {
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_ident(toks[i], "mt19937") && !is_ident(toks[i], "mt19937_64"))
+      continue;
+    // Declarator: "mt19937[_64] name ;" or "mt19937[_64] name { }" — any
+    // parenthesised or non-empty braced initialiser counts as seeded (the
+    // seed's provenance is det-rng-entropy's business).
+    if (i + 1 >= n || toks[i + 1].kind != TokKind::Identifier) continue;
+    const std::string& var = toks[i + 1].text;
+    const std::size_t after = i + 2;
+    const bool plain_decl = after < n && is_punct(toks[after], ";");
+    const bool empty_brace = after + 1 < n && is_punct(toks[after], "{") &&
+                             is_punct(toks[after + 1], "}");
+    if (plain_decl || empty_brace) {
+      out.push_back({kDetUnseededMt, toks[i].line,
+                     "std::" + toks[i].text + " '" + var +
+                         "' is default-constructed: every trial draws the "
+                         "same documented stream; seed it from "
+                         "core::trial_seed(campaign, index)"});
     }
   }
 }
@@ -379,6 +410,11 @@ const std::vector<RuleInfo>& rules() {
        "clock) in deterministic modules",
        "draw from util/rng.hpp (splitmix64/xoshiro) seeded via "
        "core::trial_seed(campaign, index)"},
+      {kDetUnseededMt,
+       "No default-constructed std::mt19937/mt19937_64 in deterministic "
+       "modules",
+       "seed explicitly from the trial stream: "
+       "std::mt19937 gen(core::trial_seed(campaign, index))"},
       {kDetUnordered,
        "No std::unordered_{map,set} in deterministic modules",
        "use std::map/std::set (ordered iteration) or a sorted vector"},
@@ -412,6 +448,7 @@ void check_file(const std::string& rel_path, std::string_view content,
 
   if (in_deterministic_module(rel_path)) {
     check_rng_entropy(lexed.tokens, raw);
+    check_unseeded_mt19937(lexed.tokens, raw);
     check_unordered(lexed.tokens, raw);
   }
   check_notify_under_lock(lexed.tokens, raw);

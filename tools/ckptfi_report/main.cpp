@@ -1,0 +1,87 @@
+// ckptfi-report CLI: aggregate --trials-out JSONL campaign artifacts into
+// sensitivity tables and a propagation-depth breakdown.
+//
+// usage: ckptfi_report [--json=PATH] [--cell=SUBSTRING] trials.jsonl [...]
+//
+//   --json=PATH       also write the full analysis as JSON to PATH
+//   --cell=SUBSTRING  only analyze rows whose "cell" contains SUBSTRING
+//
+// Positional arguments (and --in=PATH, equivalently) name JSONL files as
+// written by any campaign bench's --trials-out; multiple files concatenate,
+// so a sharded campaign can be analyzed in one call.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json=PATH] [--cell=SUBSTRING] trials.jsonl "
+               "[more.jsonl ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string json_out;
+  std::string cell_filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      inputs.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) return usage(argv[0]);
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string val = arg.substr(eq + 1);
+    if (key == "in") {
+      inputs.push_back(val);
+    } else if (key == "json") {
+      json_out = val;
+    } else if (key == "cell") {
+      cell_filter = val;
+    } else {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  try {
+    std::vector<ckptfi::Json> rows;
+    for (const std::string& path : inputs) {
+      for (auto& row : ckptfi::report::load_jsonl(path)) {
+        if (!cell_filter.empty()) {
+          const std::string cell =
+              row.contains("cell") ? row.at("cell").as_string() : "";
+          if (cell.find(cell_filter) == std::string::npos) continue;
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    const ckptfi::report::Analysis analysis = ckptfi::report::analyze(rows);
+    std::fputs(ckptfi::report::render_text(analysis).c_str(), stdout);
+    if (!json_out.empty()) {
+      std::ofstream out(json_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "ckptfi-report: cannot write '%s'\n",
+                     json_out.c_str());
+        return 1;
+      }
+      out << analysis.to_json().dump(2) << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

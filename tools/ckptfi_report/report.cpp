@@ -1,0 +1,253 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "util/common.hpp"
+#include "util/strings.hpp"
+
+namespace ckptfi::report {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kNev:
+      return "nev";
+    case Outcome::kSdc:
+      return "sdc";
+    case Outcome::kMasked:
+      return "masked";
+    case Outcome::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+Outcome classify_trial(const Json& row) {
+  if (row.contains("collapsed") && row.at("collapsed").as_bool())
+    return Outcome::kNev;
+  if (row.contains("rwc"))
+    return row.at("rwc").as_bool() ? Outcome::kMasked : Outcome::kSdc;
+  if (row.contains("clean_accuracy") && row.contains("final_accuracy")) {
+    // Bitwise accuracy equality: the determinism contract makes the clean
+    // resumed accuracy exact, so any difference is injection-caused.
+    return row.at("final_accuracy").as_double() ==
+                   row.at("clean_accuracy").as_double()
+               ? Outcome::kMasked
+               : Outcome::kSdc;
+  }
+  if (row.contains("divergence") && row.at("divergence").is_object()) {
+    return row.at("divergence").at("diverged").as_bool() ? Outcome::kSdc
+                                                         : Outcome::kMasked;
+  }
+  return Outcome::kUnknown;
+}
+
+void OutcomeCounts::add(Outcome o) {
+  ++trials;
+  switch (o) {
+    case Outcome::kNev:
+      ++nev;
+      break;
+    case Outcome::kSdc:
+      ++sdc;
+      break;
+    case Outcome::kMasked:
+      ++masked;
+      break;
+    case Outcome::kUnknown:
+      ++unknown;
+      break;
+  }
+}
+
+Json OutcomeCounts::to_json() const {
+  Json j = Json::object();
+  j["trials"] = trials;
+  j["nev"] = nev;
+  j["sdc"] = sdc;
+  j["masked"] = masked;
+  j["unknown"] = unknown;
+  return j;
+}
+
+namespace {
+
+/// Distinct injected layers of one trial's log ("layer" when canonical
+/// coordinates were recorded, the raw "location" otherwise).
+std::set<std::string> injected_layers(const Json& log) {
+  std::set<std::string> layers;
+  if (!log.contains("injections")) return layers;
+  for (const auto& inj : log.at("injections").items()) {
+    if (inj.contains("layer")) {
+      layers.insert(inj.at("layer").as_string());
+    } else if (inj.contains("location")) {
+      layers.insert(inj.at("location").as_string());
+    }
+  }
+  return layers;
+}
+
+/// Distinct flipped bit positions of one trial's log.
+std::set<int> flipped_bits(const Json& log) {
+  std::set<int> bits;
+  if (!log.contains("injections")) return bits;
+  for (const auto& inj : log.at("injections").items()) {
+    if (!inj.contains("bits")) continue;
+    for (const auto& b : inj.at("bits").items())
+      bits.insert(static_cast<int>(b.as_int()));
+  }
+  return bits;
+}
+
+}  // namespace
+
+Analysis analyze(const std::vector<Json>& rows) {
+  Analysis a;
+  for (const Json& row : rows) {
+    const Outcome o = classify_trial(row);
+    a.total.add(o);
+    const std::string cell =
+        row.contains("cell") ? row.at("cell").as_string() : "";
+    a.by_cell[cell].add(o);
+    if (row.contains("log")) {
+      const Json& log = row.at("log");
+      for (const std::string& layer : injected_layers(log))
+        a.by_layer[layer].add(o);
+      for (const int bit : flipped_bits(log)) a.by_bit[bit].add(o);
+    }
+    if (row.contains("divergence") && row.at("divergence").is_object()) {
+      const Json& div = row.at("divergence");
+      ++a.with_divergence;
+      const bool diverged = div.at("diverged").as_bool();
+      if (diverged) ++a.diverged;
+      const auto depth =
+          diverged ? static_cast<std::size_t>(div.at("depth").as_int()) : 0;
+      ++a.depth_histogram[depth];
+      if (div.contains("nan_onset") && div.at("nan_onset").is_object())
+        ++a.nan_onsets;
+    }
+  }
+  return a;
+}
+
+Json Analysis::to_json() const {
+  Json j = Json::object();
+  j["total"] = total.to_json();
+  Json cells = Json::object();
+  for (const auto& [cell, counts] : by_cell) cells[cell] = counts.to_json();
+  j["by_cell"] = std::move(cells);
+  Json layers = Json::object();
+  for (const auto& [layer, counts] : by_layer)
+    layers[layer] = counts.to_json();
+  j["by_layer"] = std::move(layers);
+  Json bits = Json::object();
+  for (const auto& [bit, counts] : by_bit)
+    bits[std::to_string(bit)] = counts.to_json();
+  j["by_bit"] = std::move(bits);
+  Json depths = Json::object();
+  for (const auto& [depth, n] : depth_histogram)
+    depths[std::to_string(depth)] = n;
+  j["depth_histogram"] = std::move(depths);
+  j["with_divergence"] = with_divergence;
+  j["diverged"] = diverged;
+  j["nan_onsets"] = nan_onsets;
+  return j;
+}
+
+std::vector<Json> load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("ckptfi-report: cannot open '" + path + "'");
+  std::vector<Json> rows;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      rows.push_back(Json::parse(line));
+    } catch (const std::exception& e) {
+      throw Error("ckptfi-report: " + path + ":" + std::to_string(lineno) +
+                  ": " + e.what());
+    }
+  }
+  return rows;
+}
+
+namespace {
+
+std::string pct(std::size_t part, std::size_t whole) {
+  if (whole == 0) return "-";
+  return format_fixed(
+      100.0 * static_cast<double>(part) / static_cast<double>(whole), 1);
+}
+
+void add_counts_row(core::TextTable& table, const std::string& key,
+                    const OutcomeCounts& c) {
+  table.add_row({key, std::to_string(c.trials), std::to_string(c.nev),
+                 std::to_string(c.sdc), std::to_string(c.masked),
+                 std::to_string(c.unknown), pct(c.nev, c.trials),
+                 pct(c.sdc, c.trials)});
+}
+
+constexpr const char* kCountsHeader[] = {"trials", "N-EV",   "SDC", "masked",
+                                         "unknown", "N-EV %", "SDC %"};
+
+std::vector<std::string> counts_header(const std::string& key_col) {
+  std::vector<std::string> hdr = {key_col};
+  hdr.insert(hdr.end(), std::begin(kCountsHeader), std::end(kCountsHeader));
+  return hdr;
+}
+
+}  // namespace
+
+std::string render_text(const Analysis& a) {
+  std::ostringstream out;
+  out << "=== ckptfi-report: campaign forensics ===\n";
+  out << a.total.trials << " trials; outcomes: " << a.total.nev << " N-EV, "
+      << a.total.sdc << " SDC, " << a.total.masked << " masked, "
+      << a.total.unknown << " unknown\n\n";
+
+  {
+    core::TextTable table(counts_header("cell"));
+    for (const auto& [cell, counts] : a.by_cell)
+      add_counts_row(table, cell.empty() ? "(none)" : cell, counts);
+    out << "per experiment cell:\n" << table.str() << "\n";
+  }
+
+  if (!a.by_layer.empty()) {
+    core::TextTable table(counts_header("injected layer"));
+    for (const auto& [layer, counts] : a.by_layer)
+      add_counts_row(table, layer, counts);
+    out << "per injected layer (trials whose log touched the layer):\n"
+        << table.str() << "\n";
+  }
+
+  if (!a.by_bit.empty()) {
+    core::TextTable table(counts_header("bit"));
+    for (const auto& [bit, counts] : a.by_bit)
+      add_counts_row(table, std::to_string(bit), counts);
+    out << "per flipped bit position:\n" << table.str() << "\n";
+  }
+
+  if (a.with_divergence > 0) {
+    out << "divergence traces: " << a.with_divergence << " trials traced, "
+        << a.diverged << " diverged, " << a.nan_onsets << " with a NaN onset\n";
+    core::TextTable table({"depth", "trials", ""});
+    std::size_t max_n = 1;
+    for (const auto& [depth, n] : a.depth_histogram)
+      max_n = std::max(max_n, n);
+    for (const auto& [depth, n] : a.depth_histogram) {
+      const auto bar_len = (n * 40 + max_n - 1) / max_n;
+      table.add_row({std::to_string(depth), std::to_string(n),
+                     std::string(bar_len, '#')});
+    }
+    out << "propagation depth (distinct layers reached; 0 = absorbed):\n"
+        << table.str();
+  }
+  return out.str();
+}
+
+}  // namespace ckptfi::report
