@@ -13,6 +13,22 @@
 // divergence trace against the clean probed baseline (obs/probes.hpp), so
 // the --trials-out rows carry where each injection's corruption went — the
 // input ckptfi_report aggregates.
+//
+// Because all of a layer's trials corrupt the same layer, they share an
+// activation prefix: with --prefix-reuse=on (the default) each trial enters
+// the network at the injected layer's segment with cached upstream
+// activations (core::PrefixCache) instead of recomputing them —
+// bitwise-identical output, less compute. Two modes:
+//
+//   --mode=train    (default) the paper's resumed-training trajectories;
+//                   prefix entry covers the first resumed batch.
+//   --mode=predict  inference-only trials (load corrupted checkpoint,
+//                   evaluate the test set): every test batch reuses its
+//                   cached boundary activation, so deep-layer campaigns
+//                   (fc8) skip nearly all upstream compute — the headline
+//                   prefix-reuse speedup (see EXPERIMENTS.md).
+//
+//   --layers=a,b,c  override the injected layer list (canonical names).
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "core/injection_log.hpp"
@@ -21,19 +37,125 @@
 using namespace ckptfi;
 using bench::BenchOptions;
 
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
-  bench::print_banner("Figure 4: per-layer injection, chainer/alexnet", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  std::string mode = "train";
+  std::string layers_csv;
+  BenchOptions opt =
+      BenchOptions::parse(argc, argv, bench::trained_defaults(),
+                          {{"mode", &mode}, {"layers", &layers_csv}});
+  if (mode != "train" && mode != "predict") {
+    std::fprintf(stderr, "bench_fig4: --mode must be train or predict\n");
+    return 2;
+  }
+  bench::print_banner("Figure 4: per-layer injection, chainer/alexnet (" +
+                          mode + " mode)",
+                      opt);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
 
   core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
   const std::size_t epochs =
       runner.config().total_epochs - runner.config().restart_epoch;
 
-  const std::vector<std::pair<std::string, std::string>> layers = {
+  std::vector<std::pair<std::string, std::string>> layers = {
       {"first (conv1)", "conv1"},
       {"middle (conv4)", "conv4"},
       {"last (fc8)", "fc8"}};
+  if (!layers_csv.empty()) {
+    layers.clear();
+    for (const std::string& l : split_csv(layers_csv)) layers.push_back({l, l});
+  }
+
+  auto model = runner.make_model();
+  core::ModelContext ctx = runner.make_context(*model);
+
+  const auto corrupt_layer = [&](mh5::File& ckpt, const std::string& layer,
+                                 std::uint64_t seed) {
+    core::CorrupterConfig cc;
+    cc.injection_attempts = 1000;
+    cc.corruption_mode = core::CorruptionMode::BitRange;
+    cc.first_bit = 0;
+    cc.last_bit = 61;
+    cc.use_random_locations = false;
+    cc.locations_to_corrupt = {"predictor/" + layer};
+    cc.seed = seed;
+    core::Corrupter corrupter(cc);
+    return corrupter.corrupt(ckpt, &ctx);
+  };
+
+  if (mode == "predict") {
+    // Inference-only campaign: corrupt the restart checkpoint, load it, and
+    // evaluate the test set. All of a layer's trials enter at its segment
+    // with the same cached boundary activations.
+    core::TextTable table({"series", "mean acc", "N-EV", "trainings"});
+    for (const auto& [label, layer] : layers) {
+      const std::string cell = "fig4predict/" + layer;
+      std::vector<double> accs(opt.trainings, 0.0);
+      std::vector<std::uint8_t> nevs(opt.trainings, 0);
+      std::vector<Json> rows(opt.trainings);
+      bench::make_scheduler(opt, cell).run(
+          opt.trainings, [&](const core::TrialContext& trial) {
+            if (const Json* p = trials_out.prior(cell, trial.index)) {
+              accs[trial.index] = p->at("accuracy").as_double();
+              nevs[trial.index] = p->at("nev").as_bool() ? 1 : 0;
+              return;
+            }
+            mh5::File ckpt = runner.restart_checkpoint();
+            core::InjectionReport rep =
+                corrupt_layer(ckpt, layer, trial.seed);
+            const std::size_t seg =
+                opt.prefix_reuse ? runner.entry_segment(rep.log) : 0;
+            const nn::EvalResult ev = runner.predict_from_segment(ckpt, seg);
+            accs[trial.index] = ev.accuracy;
+            nevs[trial.index] = ev.nev ? 1 : 0;
+            if (trials_out.enabled()) {
+              Json row = Json::object();
+              row["cell"] = cell;
+              row["trial"] = trial.index;
+              row["seed"] = std::to_string(trial.seed);
+              row["accuracy"] = ev.accuracy;
+              row["nev"] = ev.nev;
+              row["log"] = rep.log.to_json();
+              rows[trial.index] = std::move(row);
+            }
+          });
+      trials_out.flush_cell(cell, rows);
+      double acc_sum = 0.0;
+      std::size_t nev = 0;
+      for (std::size_t t = 0; t < opt.trainings; ++t) {
+        acc_sum += accs[t];
+        nev += nevs[t];
+      }
+      table.add_row({label,
+                     format_fixed(100.0 * acc_sum /
+                                      static_cast<double>(opt.trainings),
+                                  1),
+                     std::to_string(nev), std::to_string(opt.trainings)});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf("\n\n%s\n", table.str().c_str());
+    std::printf(
+        "inference-only injections: deep-layer cells reuse nearly the whole "
+        "forward via cached prefixes (see prefix.* counters in --json-out).\n");
+    return 0;
+  }
 
   core::TextTable table([&] {
     std::vector<std::string> hdr = {"series"};
@@ -54,28 +176,30 @@ int main(int argc, char** argv) {
     table.add_row(row);
   }
 
-  auto model = runner.make_model();
-  core::ModelContext ctx = runner.make_context(*model);
-
   for (const auto& [label, layer] : layers) {
     const std::string cell = "fig4/" + layer;
     std::vector<std::vector<double>> trial_acc(opt.trainings);
     std::vector<Json> rows(opt.trainings);
     bench::make_scheduler(opt, cell).run(
         opt.trainings, [&](const core::TrialContext& trial) {
+          if (const Json* p = trials_out.prior(cell, trial.index)) {
+            auto& acc = trial_acc[trial.index];
+            for (const Json& a : p->at("accuracy").items())
+              acc.push_back(a.as_double());
+            if (trial.index == 0) {
+              // Re-save the fig5 replay artifact from the prior row's log
+              // (it already carries the meta + divergence attachments).
+              core::InjectionLog::from_json(p->at("log"))
+                  .save("fig4_log_" + layer + ".json");
+            }
+            return;
+          }
           mh5::File ckpt = runner.restart_checkpoint();
-          core::CorrupterConfig cc;
-          cc.injection_attempts = 1000;
-          cc.corruption_mode = core::CorruptionMode::BitRange;
-          cc.first_bit = 0;
-          cc.last_bit = 61;
-          cc.use_random_locations = false;
-          cc.locations_to_corrupt = {"predictor/" + layer};
-          cc.seed = trial.seed;
-          core::Corrupter corrupter(cc);
-          core::InjectionReport rep = corrupter.corrupt(ckpt, &ctx);
+          core::InjectionReport rep = corrupt_layer(ckpt, layer, trial.seed);
+          const std::size_t seg =
+              opt.prefix_reuse ? runner.entry_segment(rep.log) : 0;
           core::ExperimentRunner::ProbedResume probed =
-              runner.resume_training_probed(ckpt);
+              runner.resume_training_probed_from_segment(ckpt, seg);
           const nn::TrainResult& res = probed.result;
           const obs::DivergenceTrace div =
               runner.divergence_vs_clean(probed.probes);
@@ -106,7 +230,7 @@ int main(int argc, char** argv) {
             rows[trial.index] = std::move(row);
           }
         });
-    trials_out.flush_cell(rows);
+    trials_out.flush_cell(cell, rows);
     // Index-order reduction: identical for every --jobs value.
     std::vector<double> acc_sum(epochs, 0.0);
     std::vector<std::size_t> acc_n(epochs, 0);

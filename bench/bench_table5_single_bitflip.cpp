@@ -22,7 +22,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table V: sensitivity to 1 bit-flip (RWC)", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
 
   core::TextTable table(
       {"model", "framework", "trainings", "RWC", "%"});
@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
       std::vector<Json> rows(opt.trainings);
       bench::make_scheduler(opt, cell).run(
           opt.trainings, [&](const core::TrialContext& trial) {
+            if (const Json* p = trials_out.prior(cell, trial.index)) {
+              rwc_flags[trial.index] = p->at("rwc").as_bool() ? 1 : 0;
+              return;
+            }
             mh5::File ckpt = runner.restart_checkpoint();
             core::CorrupterConfig cc;
             cc.injection_attempts = 1;
@@ -48,8 +52,13 @@ int main(int argc, char** argv) {
             cc.seed = trial.seed;
             core::Corrupter corrupter(cc);
             core::InjectionReport rep = corrupter.corrupt(ckpt);
+            // The flip lands in a random layer; the log tells us which, and
+            // the prefix upstream of it is reusable across the cell.
+            const std::size_t seg =
+                opt.prefix_reuse ? runner.entry_segment(rep.log) : 0;
             core::ExperimentRunner::ProbedResume probed =
-                runner.resume_training_probed(ckpt, opt.resume_epochs);
+                runner.resume_training_probed_from_segment(ckpt, seg,
+                                                           opt.resume_epochs);
             const nn::TrainResult& res = probed.result;
             rwc_flags[trial.index] =
                 (res.final_accuracy == clean.result.final_accuracy) ? 1 : 0;
@@ -69,7 +78,7 @@ int main(int argc, char** argv) {
               rows[trial.index] = std::move(row);
             }
           });
-      trials_out.flush_cell(rows);
+      trials_out.flush_cell(cell, rows);
       std::size_t rwc = 0;
       for (const auto f : rwc_flags) rwc += f;
       table.add_row({model, framework, std::to_string(opt.trainings),

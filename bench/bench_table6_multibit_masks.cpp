@@ -21,7 +21,7 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table VI: multi-bit masks on ResNet50", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
 
   struct MaskRow {
     int bits;
@@ -51,8 +51,16 @@ int main(int argc, char** argv) {
       std::vector<Json> rows(trials);
       bench::make_scheduler(opt, cell).run(
           trials, [&](const core::TrialContext& trial) {
+            if (const Json* p = trials_out.prior(cell, trial.index)) {
+              collapsed[trial.index] = p->at("collapsed").as_bool() ? 1 : 0;
+              if (!collapsed[trial.index])
+                // One resumed epoch, so final == first-epoch accuracy.
+                accs[trial.index] = p->at("final_accuracy").as_double();
+              return;
+            }
             mh5::File ckpt = runner.restart_checkpoint();
             Json log;
+            std::size_t seg = 0;
             if (!baseline) {
               core::CorrupterConfig cc;
               cc.corruption_mode = core::CorruptionMode::BitMask;
@@ -62,8 +70,12 @@ int main(int argc, char** argv) {
               core::Corrupter corrupter(cc);
               const core::InjectionReport rep = corrupter.corrupt(ckpt);
               log = rep.log.to_json();
+              // 10 random weights scatter across layers; the shallowest one
+              // bounds the reusable prefix (often 0 — then this is a no-op).
+              if (opt.prefix_reuse) seg = runner.entry_segment(rep.log);
             }
-            const nn::TrainResult res = runner.resume_training(ckpt, 1);
+            const nn::TrainResult res =
+                runner.resume_training_from_segment(ckpt, seg, 1);
             collapsed[trial.index] = res.collapsed ? 1 : 0;
             if (!res.collapsed)
               accs[trial.index] = res.epochs.front().test_accuracy;
@@ -78,7 +90,7 @@ int main(int argc, char** argv) {
               rows[trial.index] = std::move(r);
             }
           });
-      trials_out.flush_cell(rows);
+      trials_out.flush_cell(cell, rows);
       double acc_sum = 0.0;
       std::size_t acc_count = 0, nev = 0;
       for (std::size_t t = 0; t < trials; ++t) {

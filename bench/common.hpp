@@ -23,6 +23,19 @@
 //   --trials-out=PATH  write one JSON line per trial (outcome + injection
 //                      log) — the determinism artifact: identical across
 //                      --jobs values by construction
+//   --resume-from=PATH resume an interrupted campaign from a previous
+//                      --trials-out file: trial indices already present are
+//                      skipped (their rows re-emitted verbatim) and only the
+//                      missing ones run. Per-trial splitmix64 seeds are pure
+//                      functions of (--seed, cell, index), so a resumed
+//                      file is bitwise-identical to an uninterrupted run.
+//                      May name the same path as --trials-out.
+//   --prefix-reuse=on|off
+//                      layer-targeted benches: reuse cached activation
+//                      prefixes for trial groups that share an injected
+//                      layer (core::PrefixCache). Bitwise-identical to a
+//                      full recompute; default on, env CKPTFI_PREFIX_REUSE
+//                      is the global escape hatch.
 //   --progress=N       heartbeat: print trials done/total, p50 trial time
 //                      and ETA to stderr every ~N seconds while a campaign
 //                      runs (0 = off, the default)
@@ -31,8 +44,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
@@ -42,6 +58,15 @@
 #include "util/crc32.hpp"
 
 namespace ckptfi::bench {
+
+/// Process-wide default for --prefix-reuse: on unless CKPTFI_PREFIX_REUSE is
+/// set to off/0/false (the escape hatch the CI matrix flips).
+inline bool default_prefix_reuse() {
+  const char* e = std::getenv("CKPTFI_PREFIX_REUSE");
+  if (e == nullptr) return true;
+  const std::string v = e;
+  return !(v == "off" || v == "0" || v == "false");
+}
 
 struct BenchOptions {
   std::size_t trainings = 6;
@@ -54,14 +79,21 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   std::size_t jobs = 1;   ///< campaign fan-out (trials in flight per cell)
   std::size_t progress = 0;  ///< heartbeat period in seconds (0 = silent)
+  bool prefix_reuse = default_prefix_reuse();  ///< cached-prefix trial entry
   std::string json_out;   ///< metrics snapshot destination ("" = don't emit)
   std::string trace_out;  ///< Chrome trace destination ("" = don't record)
   std::string trials_out; ///< per-trial JSONL destination ("" = don't emit)
+  std::string resume_from;  ///< prior trials JSONL to resume from ("" = none)
+
+  /// Extra bench-specific --key=value string options: parse fills the bound
+  /// strings and treats the keys as known.
+  using Extras = std::vector<std::pair<std::string, std::string*>>;
 
   /// Parse --key=value args over `defaults`; unknown keys abort with a
   /// usage message. Benches whose story needs a genuinely trained baseline
   /// (accuracy-degradation experiments) pass larger defaults.
-  static BenchOptions parse(int argc, char** argv, BenchOptions defaults);
+  static BenchOptions parse(int argc, char** argv, BenchOptions defaults,
+                            const Extras& extras = {});
   static BenchOptions parse(int argc, char** argv) {
     return parse(argc, argv, BenchOptions{});
   }
@@ -104,7 +136,8 @@ inline void write_obs_outputs() {
 }  // namespace detail
 
 inline BenchOptions BenchOptions::parse(int argc, char** argv,
-                                        BenchOptions defaults) {
+                                        BenchOptions defaults,
+                                        const Extras& extras) {
   BenchOptions o = defaults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,8 +147,26 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       std::exit(2);
     }
     const std::string key = arg.substr(2, eq - 2);
+    bool is_extra = false;
+    for (const auto& [ekey, slot] : extras) {
+      if (key == ekey) {
+        *slot = arg.substr(eq + 1);
+        is_extra = true;
+        break;
+      }
+    }
+    if (is_extra) continue;
     if (key == "trials-out") {
       o.trials_out = arg.substr(eq + 1);
+      continue;
+    }
+    if (key == "resume-from") {
+      o.resume_from = arg.substr(eq + 1);
+      continue;
+    }
+    if (key == "prefix-reuse") {
+      const std::string v = arg.substr(eq + 1);
+      o.prefix_reuse = !(v == "off" || v == "0" || v == "false");
       continue;
     }
     if (key == "json-out" || key == "trace-out") {
@@ -190,9 +241,37 @@ inline core::TrialScheduler make_scheduler(const BenchOptions& o,
 /// JSONL sink for --trials-out. Benches fill one Json row per trial into an
 /// index-addressed vector while the campaign runs, then flush the cell in
 /// index order — so the file is bitwise independent of --jobs scheduling.
+///
+/// With a --resume-from file, rows from the prior run are indexed by
+/// (cell, trial): benches consult prior() to skip finished trials, and
+/// flush_cell(cell, rows) re-emits a skipped trial's original line verbatim
+/// — so a resumed file is byte-identical to an uninterrupted run's. The
+/// prior file is fully loaded before the output opens, so resuming in place
+/// (--resume-from=X --trials-out=X) is safe.
 class TrialRows {
  public:
-  explicit TrialRows(const std::string& path) {
+  explicit TrialRows(const std::string& path,
+                     const std::string& resume_from = "") {
+    if (!resume_from.empty()) {
+      std::ifstream in(resume_from);
+      if (!in) {
+        std::fprintf(stderr, "bench: cannot read --resume-from '%s'\n",
+                     resume_from.c_str());
+        std::exit(2);
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        Json row = Json::parse(line);
+        if (!row.is_object() || !row.contains("cell") ||
+            !row.contains("trial"))
+          continue;  // not a trial row (tolerate foreign lines)
+        const auto key = std::make_pair(
+            row.at("cell").as_string(),
+            static_cast<std::size_t>(row.at("trial").as_int()));
+        prior_[key] = Prior{line, std::move(row)};
+      }
+    }
     if (path.empty()) return;
     out_.emplace(path, std::ios::trunc);
     if (!*out_) {
@@ -204,13 +283,37 @@ class TrialRows {
 
   bool enabled() const { return out_.has_value(); }
 
-  void flush_cell(const std::vector<Json>& rows) {
+  /// The prior run's row for (cell, trial), or nullptr when it must run.
+  const Json* prior(const std::string& cell, std::size_t trial) const {
+    const auto hit = prior_.find({cell, trial});
+    return hit == prior_.end() ? nullptr : &hit->second.row;
+  }
+
+  void flush_cell(const std::vector<Json>& rows) { flush_cell("", rows); }
+
+  /// Flush one cell in index order. Null rows (trials skipped via prior())
+  /// fall back to the prior file's original line, byte for byte.
+  void flush_cell(const std::string& cell, const std::vector<Json>& rows) {
     if (!out_) return;
-    for (const auto& row : rows) *out_ << row.dump() << "\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].is_null() && !cell.empty()) {
+        const auto hit = prior_.find({cell, i});
+        if (hit != prior_.end()) {
+          *out_ << hit->second.line << "\n";
+          continue;
+        }
+      }
+      *out_ << rows[i].dump() << "\n";
+    }
     out_->flush();
   }
 
  private:
+  struct Prior {
+    std::string line;  ///< original JSONL text, re-emitted verbatim
+    Json row;
+  };
+  std::map<std::pair<std::string, std::size_t>, Prior> prior_;
   std::optional<std::ofstream> out_;
 };
 
@@ -272,10 +375,11 @@ inline void print_banner(const std::string& what, const BenchOptions& o) {
   std::printf("=== %s ===\n", what.c_str());
   std::printf(
       "scale: %zu trainings/cell, %zu train images, width %zu, "
-      "restart epoch %zu -> resume %zu epoch(s), %zu job(s) "
+      "restart epoch %zu -> resume %zu epoch(s), %zu job(s), "
+      "prefix-reuse %s "
       "(paper: 250 trainings, CIFAR-10 50k, full-width models, epoch 20)\n\n",
       o.trainings, o.train_images, o.width, o.restart_epoch, o.resume_epochs,
-      o.jobs);
+      o.jobs, o.prefix_reuse ? "on" : "off");
   emit_run_start(what, o);
 }
 

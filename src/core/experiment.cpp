@@ -124,7 +124,7 @@ ExperimentRunner::resume_training_with_model(const mh5::File& ckpt,
 
 std::pair<nn::TrainResult, std::unique_ptr<nn::Model>>
 ExperimentRunner::resume_impl(const mh5::File& ckpt, std::size_t epochs,
-                              obs::Probes* probes) {
+                              obs::Probes* probes, std::size_t entry_seg) {
   obs::Span span("experiment.resume", "resume", "experiment.resume_time");
   obs::counter_add("experiment.resumes");
   const auto from_epoch =
@@ -136,6 +136,23 @@ ExperimentRunner::resume_impl(const mh5::File& ckpt, std::size_t epochs,
   }
   auto model = make_model();
   load_into(*model, ckpt);
+
+  // Prefix entry: refuse (and fall back to the full path) rather than enter
+  // past any layer that does not guarantee a bitwise-identical resumed run.
+  std::shared_ptr<const PrefixEntryData> prefix;
+  nn::Trainer::PrefixEntry entry;
+  if (entry_seg > 0 && !model->prefix_safe_upto(entry_seg, /*training=*/true)) {
+    obs::counter_add("prefix.unsafe_refusals");
+    entry_seg = 0;
+  }
+  if (entry_seg > 0) {
+    prefix = train_prefix(from_epoch, entry_seg);
+    entry.segment = entry_seg;
+    entry.boundary = &prefix->boundary.front();
+    entry.state = &prefix->state;
+    entry.probe_prefix = probes != nullptr ? &prefix->probe_prefix : nullptr;
+    obs::counter_add("prefix.segments_skipped", entry_seg);
+  }
 
   nn::TrainConfig tc;
   tc.epochs = epochs;
@@ -152,7 +169,8 @@ ExperimentRunner::resume_impl(const mh5::File& ckpt, std::size_t epochs,
   // Like the paper's checkpoints, ours hold weights only: optimizer velocity
   // restarts at zero on resume (the source of Fig. 3b's slight bump).
   nn::TrainResult result =
-      trainer.fit(train_loader_->provider(), test_batches_, from_epoch);
+      trainer.fit(train_loader_->provider(), test_batches_, from_epoch, {},
+                  entry_seg > 0 ? &entry : nullptr);
   return {std::move(result), std::move(model)};
 }
 
@@ -174,20 +192,31 @@ ExperimentRunner::ProbedResume ExperimentRunner::resume_training_probed(
 
 const ExperimentRunner::CleanProbedRun& ExperimentRunner::clean_probed_run(
     std::size_t epochs) {
+  // Memo keyed by the *resolved* epoch count, so `0` ("to total_epochs") and
+  // its explicit value share one baseline — a campaign's cells all reuse the
+  // same clean twin. The map lock only covers slot lookup; the (expensive)
+  // clean training runs under the slot's once-flag, so concurrent trials of
+  // the same length block on exactly one build instead of each holding
+  // clean_mu_ through a training.
   const std::size_t resolved = resolve_resume_epochs(epochs);
-  std::lock_guard lock(clean_mu_);
-  auto hit = clean_probed_.find(resolved);
-  if (hit == clean_probed_.end()) {
+  CleanSlot* slot = nullptr;
+  {
+    std::lock_guard lock(clean_mu_);
+    auto& up = clean_probed_[resolved];
+    if (up == nullptr) up = std::make_unique<CleanSlot>();
+    slot = up.get();
+  }
+  std::call_once(slot->once, [&] {
     const mh5::File ckpt = restart_checkpoint();
     ProbedResume run = resume_training_probed(ckpt, resolved);
-    CleanProbedRun clean;
-    clean.result = std::move(run.result);
-    clean.probes = std::move(run.probes);
+    slot->run.result = std::move(run.result);
+    slot->run.probes = std::move(run.probes);
     for (const auto& p : run.model->params())
-      clean.final_weights[p.name] = p.value->vec();
-    hit = clean_probed_.emplace(resolved, std::move(clean)).first;
-  }
-  return hit->second;
+      slot->run.final_weights[p.name] = p.value->vec();
+    ++clean_probed_builds_;
+    obs::counter_add("experiment.clean_probed_builds");
+  });
+  return slot->run;
 }
 
 obs::DivergenceTrace ExperimentRunner::divergence_vs_clean(
@@ -232,6 +261,167 @@ std::map<std::string, std::vector<double>> ExperimentRunner::weights_of(
     out[p.name] = p.value->vec();
   }
   return out;
+}
+
+// --- prefix-reuse entry points ---------------------------------------------
+
+std::size_t ExperimentRunner::entry_segment(const InjectionLog& log) {
+  if (log.empty()) return 0;
+  {
+    std::lock_guard lock(layer_map_mu_);
+    if (!layer_maps_built_) {
+      auto model = make_model();
+      path_to_layer_.clear();
+      for (const auto& [path, canonical] : adapter_->inverse_path_map(*model)) {
+        path_to_layer_[path] = fw::split_canonical(canonical).first;
+      }
+      layer_to_segment_.clear();
+      for (const auto& [path, layer] : path_to_layer_) {
+        (void)path;
+        if (layer_to_segment_.count(layer) == 0)
+          layer_to_segment_[layer] = model->segment_of_layer(layer);
+      }
+      layer_maps_built_ = true;
+    }
+  }
+  // The entry segment is the *shallowest* injected layer's segment: every
+  // segment before it is untouched by the corruption. Any record we cannot
+  // place (unknown path, layer outside the model) forces 0 — the full path.
+  std::size_t min_seg = nn::Model::kNoSegment;
+  for (const InjectionRecord& rec : log.records()) {
+    std::string layer = rec.layer;
+    if (layer.empty()) {
+      const auto hit = path_to_layer_.find(rec.location);
+      if (hit == path_to_layer_.end()) return 0;
+      layer = hit->second;
+    }
+    const auto seg = layer_to_segment_.find(layer);
+    if (seg == layer_to_segment_.end() ||
+        seg->second == nn::Model::kNoSegment)
+      return 0;
+    if (seg->second < min_seg) min_seg = seg->second;
+  }
+  return min_seg == nn::Model::kNoSegment ? 0 : min_seg;
+}
+
+std::shared_ptr<const PrefixEntryData> ExperimentRunner::train_prefix(
+    std::size_t epoch, std::size_t seg) {
+  return prefix_cache_.get_or_build(
+      PrefixKey{epoch, seg, /*eval=*/false}, [&]() -> PrefixEntryData {
+        obs::Span span("experiment.prefix_build", "prefix",
+                       "experiment.prefix_build_time");
+        // The clean checkpoint at `epoch` has bitwise the same upstream
+        // weights as every corrupted clone in the trial group, so the clean
+        // model's entry-batch forward over [0, seg) *is* each trial's.
+        auto model = make_model();
+        const mh5::File ckpt = checkpoint_at(epoch);
+        load_into(*model, ckpt);
+        const std::vector<nn::Batch> batches = train_loader_->batches(epoch);
+        require(!batches.empty(), "train_prefix: no batches");
+
+        PrefixEntryData entry;
+        {
+          // Record the upstream forward under a scratch timeline: its step-0
+          // layout/stats become the splice a prefixed trial replays so its
+          // probe schedule matches a full run's.
+          obs::Probes scratch;
+          scratch.begin_step(0);
+          obs::Probes::Scope scope(scratch);
+          entry.boundary.push_back(
+              model->forward_prefix(seg, batches.front().x, /*training=*/true));
+          for (std::size_t p = 0; p < scratch.points_per_step(); ++p) {
+            entry.probe_prefix.push_back(
+                obs::RecordedPoint{scratch.layout()[p], scratch.at(0, p)});
+          }
+        }
+        model->capture_prefix_state(seg, entry.state);
+        return entry;
+      });
+}
+
+std::shared_ptr<const PrefixEntryData> ExperimentRunner::eval_prefix(
+    std::size_t epoch, std::size_t seg) {
+  return prefix_cache_.get_or_build(
+      PrefixKey{epoch, seg, /*eval=*/true}, [&]() -> PrefixEntryData {
+        obs::Span span("experiment.prefix_build", "prefix",
+                       "experiment.prefix_build_time");
+        auto model = make_model();
+        const mh5::File ckpt = checkpoint_at(epoch);
+        load_into(*model, ckpt);
+        // Eval forwards are pure, so all test batches' boundary activations
+        // are reusable by every trial in the group — no state, no probes.
+        PrefixEntryData entry;
+        entry.boundary.reserve(test_batches_.size());
+        for (const nn::Batch& b : test_batches_) {
+          entry.boundary.push_back(
+              model->forward_prefix(seg, b.x, /*training=*/false));
+        }
+        return entry;
+      });
+}
+
+nn::TrainResult ExperimentRunner::resume_training_from_segment(
+    const mh5::File& ckpt, std::size_t seg, std::size_t epochs) {
+  return resume_impl(ckpt, epochs, /*probes=*/nullptr, seg).first;
+}
+
+ExperimentRunner::ProbedResume
+ExperimentRunner::resume_training_probed_from_segment(const mh5::File& ckpt,
+                                                      std::size_t seg,
+                                                      std::size_t epochs) {
+  ProbedResume out;
+  auto [result, model] = resume_impl(ckpt, epochs, &out.probes, seg);
+  out.result = std::move(result);
+  out.model = std::move(model);
+  return out;
+}
+
+nn::EvalResult ExperimentRunner::predict_from_segment(const mh5::File& ckpt,
+                                                      std::size_t seg) {
+  obs::Span span("experiment.predict", "predict", "experiment.predict_time");
+  obs::counter_add("experiment.predicts");
+  auto model = make_model();
+  load_into(*model, ckpt);
+  if (seg == 0 || !model->prefix_safe_upto(seg, /*training=*/false)) {
+    if (seg > 0) obs::counter_add("prefix.unsafe_refusals");
+    return nn::evaluate_with_nev(*model, test_batches_);
+  }
+  const auto epoch = static_cast<std::size_t>(fw::checkpoint_epoch(ckpt));
+  const auto prefix = eval_prefix(epoch, seg);
+  obs::counter_add("prefix.segments_skipped", seg);
+  return nn::evaluate_with_nev_prefixed(*model, seg, prefix->boundary,
+                                        test_batches_);
+}
+
+nn::EvalResult ExperimentRunner::predict_subset_from_segment(
+    const mh5::File& ckpt, std::size_t seg, std::size_t part,
+    std::size_t num_parts) {
+  obs::Span span("experiment.predict", "predict", "experiment.predict_time");
+  obs::counter_add("experiment.predicts");
+  require(num_parts > 0 && part < num_parts,
+          "predict_subset: bad part/num_parts");
+  auto model = make_model();
+  load_into(*model, ckpt);
+  std::vector<nn::Batch> slice;
+  for (std::size_t i = part; i < test_batches_.size(); i += num_parts) {
+    nn::Batch b;
+    b.x = test_batches_[i].x;
+    b.y = test_batches_[i].y;
+    slice.push_back(std::move(b));
+  }
+  require(!slice.empty(), "predict_subset: empty slice");
+  if (seg == 0 || !model->prefix_safe_upto(seg, /*training=*/false)) {
+    if (seg > 0) obs::counter_add("prefix.unsafe_refusals");
+    return nn::evaluate_with_nev(*model, slice);
+  }
+  const auto epoch = static_cast<std::size_t>(fw::checkpoint_epoch(ckpt));
+  const auto prefix = eval_prefix(epoch, seg);
+  // Slice the boundary cache with the same stride as the batches.
+  std::vector<Tensor> boundaries;
+  for (std::size_t i = part; i < prefix->boundary.size(); i += num_parts)
+    boundaries.push_back(prefix->boundary[i]);
+  obs::counter_add("prefix.segments_skipped", seg);
+  return nn::evaluate_with_nev_prefixed(*model, seg, boundaries, slice);
 }
 
 }  // namespace ckptfi::core

@@ -17,6 +17,7 @@
 // short critical sections.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,6 +26,8 @@
 #include <string>
 
 #include "core/corrupter.hpp"
+#include "core/injection_log.hpp"
+#include "core/prefix_cache.hpp"
 #include "data/synthetic_cifar.hpp"
 #include "frameworks/framework.hpp"
 #include "models/models.hpp"
@@ -131,6 +134,54 @@ class ExperimentRunner {
   /// Canonical-name -> weight values snapshot of a checkpoint.
   std::map<std::string, std::vector<double>> weights_of(const mh5::File& ckpt);
 
+  // --- prefix-reuse entry points -----------------------------------------
+  //
+  // A layer-targeted trial corrupts datasets of known layers, so everything
+  // upstream of the shallowest injected layer is bitwise the clean baseline.
+  // These entry points skip that prefix via core::PrefixCache: training
+  // resumes reuse the cached upstream forward for the entry batch only (the
+  // first optimizer step makes upstream weights diverge), predictions reuse
+  // cached boundary activations for every test batch. Prefixed and full runs
+  // are bitwise-identical in results, probe timelines and divergence traces;
+  // any unsafe/unmappable situation falls back to the full path (counted in
+  // `prefix.unsafe_refusals`), never to an approximation.
+
+  /// Deepest safe entry segment for a corrupted checkpoint: the segment of
+  /// the shallowest layer named by the injection log's records. Returns 0
+  /// (no skippable prefix) for an empty log or any record that cannot be
+  /// mapped to a model layer — 0 always degrades to the full path.
+  std::size_t entry_segment(const InjectionLog& log);
+
+  /// resume_training entering the network at segment `seg` for the first
+  /// resumed batch. seg == 0 is exactly resume_training.
+  nn::TrainResult resume_training_from_segment(const mh5::File& ckpt,
+                                               std::size_t seg,
+                                               std::size_t epochs = 0);
+
+  /// resume_training_probed with prefix entry: the cached upstream forward
+  /// probe stats are spliced into the entry step, so the timeline layout,
+  /// step schedule and DivergenceTrace match the full run's bitwise.
+  ProbedResume resume_training_probed_from_segment(const mh5::File& ckpt,
+                                                   std::size_t seg,
+                                                   std::size_t epochs = 0);
+
+  /// predict entering at `seg` with cached per-batch boundary activations.
+  nn::EvalResult predict_from_segment(const mh5::File& ckpt, std::size_t seg);
+
+  /// predict_subset entering at `seg` (the boundary cache is sliced with the
+  /// same stride as the batches).
+  nn::EvalResult predict_subset_from_segment(const mh5::File& ckpt,
+                                             std::size_t seg, std::size_t part,
+                                             std::size_t num_parts);
+
+  /// The runner's prefix cache (introspection for tests/reports).
+  const PrefixCache& prefix_cache() const { return prefix_cache_; }
+
+  /// How many clean probed baselines have actually been trained — the
+  /// memoization audit hook (a campaign over one resume length must build
+  /// exactly one, no matter how many trials or cells ask).
+  std::uint64_t clean_probed_builds() const { return clean_probed_builds_; }
+
  private:
   mh5::File clone_bytes(
       const std::shared_ptr<const std::vector<std::uint8_t>>& bytes) const;
@@ -138,9 +189,22 @@ class ExperimentRunner {
 
   void cache_baseline_snapshot();
 
-  /// Shared resume path; records into `probes` when non-null.
+  /// Shared resume path; records into `probes` when non-null. When
+  /// `entry_seg` > 0 (and the model's prefix [0, entry_seg) is train-safe)
+  /// the entry batch enters at the cached segment boundary.
   std::pair<nn::TrainResult, std::unique_ptr<nn::Model>> resume_impl(
-      const mh5::File& ckpt, std::size_t epochs, obs::Probes* probes);
+      const mh5::File& ckpt, std::size_t epochs, obs::Probes* probes,
+      std::size_t entry_seg = 0);
+
+  /// Training prefix for checkpoint `epoch` at segment `seg`: the entry
+  /// batch's boundary activation + upstream forward footprint + upstream
+  /// forward probe stats, built from the clean baseline once per group.
+  std::shared_ptr<const PrefixEntryData> train_prefix(std::size_t epoch,
+                                                      std::size_t seg);
+
+  /// Inference prefix: every test batch's boundary activation at `seg`.
+  std::shared_ptr<const PrefixEntryData> eval_prefix(std::size_t epoch,
+                                                     std::size_t seg);
 
   /// Epochs actually resumed when callers pass 0 ("to total_epochs").
   std::size_t resolve_resume_epochs(std::size_t epochs) const;
@@ -160,14 +224,31 @@ class ExperimentRunner {
   std::map<std::size_t, std::shared_ptr<const std::vector<std::uint8_t>>>
       ckpt_cache_;
   std::optional<nn::TrainResult> clean_resume_;
-  /// Clean probed baselines, one per distinct resume length requested.
-  std::map<std::size_t, CleanProbedRun> clean_probed_;
+  /// Clean probed baselines, one per distinct resume length requested. Each
+  /// slot owns its own once-flag so concurrent trials wanting the same
+  /// length block on exactly one build — and trials wanting a different
+  /// length (or only the map) never wait behind a training.
+  struct CleanSlot {
+    std::once_flag once;
+    CleanProbedRun run;
+  };
+  std::map<std::size_t, std::unique_ptr<CleanSlot>> clean_probed_;
+  std::atomic<std::uint64_t> clean_probed_builds_{0};
   /// Guards baseline_{model_,trainer_,epoch_} and ckpt_cache_.
   std::mutex baseline_mu_;
-  /// Guards the clean_resume_ and clean_probed_ memos. Separate from
-  /// baseline_mu_ because computing them calls checkpoint_at (which takes
-  /// baseline_mu_).
+  /// Guards the clean_resume_ memo and the clean_probed_ map shape (slot
+  /// contents are guarded by their once-flags). Separate from baseline_mu_
+  /// because computing them calls checkpoint_at (which takes baseline_mu_).
   std::mutex clean_mu_;
+  /// Cached activation prefixes, keyed by (epoch, segment, mode).
+  PrefixCache prefix_cache_;
+  /// Lazily built maps for entry_segment(): dataset path -> canonical layer
+  /// name, canonical layer name -> top-level segment. Guarded by
+  /// layer_map_mu_.
+  std::mutex layer_map_mu_;
+  bool layer_maps_built_ = false;
+  std::map<std::string, std::size_t> layer_to_segment_;
+  std::map<std::string, std::string> path_to_layer_;
 };
 
 }  // namespace ckptfi::core

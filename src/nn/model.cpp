@@ -88,4 +88,53 @@ bool Model::has_non_finite_params() {
   return false;
 }
 
+std::size_t Model::segment_of_layer(const std::string& layer) {
+  if (!layer_segments_built_) {
+    // Collect each top-level segment's parameters separately: every canonical
+    // layer prefix seen inside segment i belongs to i. Nested containers
+    // (Residual branches) thus map to their containing top-level segment.
+    for (std::size_t i = 0; i < net_->size(); ++i) {
+      std::vector<ParamRef> params;
+      net_->layer(i).collect_params(params);
+      for (const auto& p : params) {
+        const auto parts = split_path(p.name);
+        require(parts.size() >= 2, "Model: malformed param name " + p.name);
+        std::string owner = parts[0];
+        for (std::size_t k = 1; k + 1 < parts.size(); ++k)
+          owner += "/" + parts[k];
+        layer_segments_.emplace(owner, i);
+      }
+    }
+    layer_segments_built_ = true;
+  }
+  const auto it = layer_segments_.find(layer);
+  return it == layer_segments_.end() ? kNoSegment : it->second;
+}
+
+Tensor Model::forward_from(std::size_t seg, const Tensor& boundary,
+                           bool training) {
+  require(seg <= net_->size(), "Model::forward_from: bad segment");
+  require(prefix_safe_upto(seg, training),
+          "Model::forward_from: prefix [0, " + std::to_string(seg) +
+              ") of '" + name_ + "' is not prefix-safe in this mode");
+  return net_->forward_span(seg, net_->size(), boundary, training);
+}
+
+void Model::capture_prefix_state(std::size_t seg, PrefixState& out) const {
+  require(seg <= net_->size(), "Model::capture_prefix_state: bad segment");
+  require(prefix_safe_upto(seg, /*training=*/true),
+          "Model::capture_prefix_state: prefix [0, " + std::to_string(seg) +
+              ") of '" + name_ + "' is not prefix-safe for training");
+  net_->capture_state_upto(seg, out);
+}
+
+void Model::restore_prefix_state(std::size_t seg, const PrefixState& state) {
+  require(seg <= net_->size(), "Model::restore_prefix_state: bad segment");
+  PrefixStateReader reader(state);
+  net_->restore_state_upto(seg, reader);
+  require(reader.exhausted(),
+          "Model::restore_prefix_state: snapshot has leftover blocks "
+          "(captured for a different segment or architecture)");
+}
+
 }  // namespace ckptfi::nn

@@ -5,6 +5,7 @@
 // locations in this space.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,52 @@ class Model {
   /// True if any parameter is NaN/Inf.
   bool has_non_finite_params();
 
+  // --- segment view (prefix-reuse; DESIGN.md "Segment graph") -------------
+  // Segments are the root Sequential's top-level layers, in forward order:
+  // stable 0-based indices with one boundary activation between consecutive
+  // segments. A Residual (with its nested branches) is a single segment —
+  // canonical layers inside it map to the containing top-level index, which
+  // keeps entry points conservative: entering *at* a segment never splits a
+  // container.
+
+  /// Sentinel for "layer not found" from segment_of_layer.
+  static constexpr std::size_t kNoSegment = static_cast<std::size_t>(-1);
+
+  std::size_t segment_count() const { return net_->size(); }
+  const std::string& segment_name(std::size_t seg) const {
+    return net_->layer(seg).name();
+  }
+
+  /// Segment owning a canonical layer name ("conv4", "stage2_block1_conv2");
+  /// kNoSegment when no parameter-bearing layer matches.
+  std::size_t segment_of_layer(const std::string& layer);
+
+  /// True when a prefix-reuse trial may skip segments [0, seg) in the given
+  /// mode (every skipped layer declares itself prefix-safe).
+  bool prefix_safe_upto(std::size_t seg, bool training) const {
+    return net_->prefix_safe_upto(seg, training);
+  }
+
+  /// Run segments [0, seg) and return the boundary activation entering
+  /// `seg` — the prefix-cache build pass.
+  Tensor forward_prefix(std::size_t seg, const Tensor& x, bool training) {
+    return net_->forward_span(0, seg, x, training);
+  }
+
+  /// Enter the network at segment `seg` with a cached boundary activation.
+  /// Refuses (throws) when the skipped prefix is not prefix-safe for the
+  /// mode — the validity condition the cache relies on.
+  Tensor forward_from(std::size_t seg, const Tensor& boundary, bool training);
+
+  /// Snapshot the forward state of segments [0, seg) after forward_prefix
+  /// (training trials: what the skipped backward will read). Refuses when
+  /// the prefix is not training-safe.
+  void capture_prefix_state(std::size_t seg, PrefixState& out) const;
+
+  /// Restore a captured prefix into this model (per trial, before
+  /// forward_from). Throws when the snapshot doesn't match the traversal.
+  void restore_prefix_state(std::size_t seg, const PrefixState& state);
+
  private:
   void refresh_params();
 
@@ -60,6 +107,9 @@ class Model {
   std::unique_ptr<Sequential> net_;
   std::vector<ParamRef> params_;
   bool params_dirty_ = true;
+  /// canonical layer name -> owning top-level segment (built lazily).
+  std::map<std::string, std::size_t> layer_segments_;
+  bool layer_segments_built_ = false;
 };
 
 }  // namespace ckptfi::nn

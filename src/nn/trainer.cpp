@@ -11,10 +11,11 @@
 namespace ckptfi::nn {
 
 std::pair<double, double> Trainer::train_epoch(
-    const std::vector<Batch>& batches) {
+    const std::vector<Batch>& batches, const PrefixEntry* prefix) {
   require(!batches.empty(), "Trainer: no batches");
   double loss_sum = 0.0;
   double acc_sum = 0.0;
+  bool first = true;
   for (const Batch& b : batches) {
     obs::Span span("trainer.batch", "train", "trainer.batch_time");
     // The probe scope covers exactly the forward/backward passes: one step
@@ -26,7 +27,26 @@ std::pair<double, double> Trainer::train_epoch(
       probe_scope.emplace(*probes_);
     }
     ++probe_step_;
-    Tensor logits = model_.forward(b.x, /*training=*/true);
+    const PrefixEntry* entry = first ? prefix : nullptr;
+    first = false;
+    Tensor logits;
+    if (entry != nullptr && entry->segment > 0) {
+      // Prefix-entered step: restore the skipped layers' forward state (so
+      // this step's backward reads bitwise what a full forward would have
+      // written), splice the cached upstream probe stats to keep the step's
+      // point schedule identical to a full run's, then enter at the segment
+      // boundary with the cached activation.
+      model_.restore_prefix_state(entry->segment, *entry->state);
+      if (probes_ != nullptr && entry->probe_prefix != nullptr) {
+        for (const obs::RecordedPoint& rp : *entry->probe_prefix) {
+          probes_->record_stats(rp.point.layer, rp.point.phase, rp.stats);
+        }
+      }
+      logits = model_.forward_from(entry->segment, *entry->boundary,
+                                   /*training=*/true);
+    } else {
+      logits = model_.forward(b.x, /*training=*/true);
+    }
     LossResult lr = softmax_cross_entropy(logits, b.y);
     loss_sum += lr.loss;
     acc_sum += accuracy(logits, b.y);
@@ -46,7 +66,8 @@ std::pair<double, double> Trainer::train_epoch(
 TrainResult Trainer::fit(const BatchProvider& provider,
                          const std::vector<Batch>& test_batches,
                          std::size_t first_epoch,
-                         const std::function<void(const EpochStats&)>& on_epoch) {
+                         const std::function<void(const EpochStats&)>& on_epoch,
+                         const PrefixEntry* prefix) {
   TrainResult result;
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
     const std::size_t epoch = first_epoch + e;
@@ -54,7 +75,7 @@ TrainResult Trainer::fit(const BatchProvider& provider,
     {
       obs::Span span("trainer.epoch", "train", "trainer.epoch_time");
       const auto batches = provider(epoch);
-      auto [loss, train_acc] = train_epoch(batches);
+      auto [loss, train_acc] = train_epoch(batches, e == 0 ? prefix : nullptr);
 
       stats.epoch = epoch;
       stats.train_loss = loss;
@@ -133,6 +154,34 @@ EvalResult evaluate_with_nev(Model& model, const std::vector<Batch>& batches) {
     const std::size_t n = b.y.size();
     correct += static_cast<std::size_t>(
         std::lround(accuracy(logits, b.y) * static_cast<double>(n)));
+    total += n;
+  }
+  res.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  return res;
+}
+
+EvalResult evaluate_with_nev_prefixed(Model& model, std::size_t seg,
+                                      const std::vector<Tensor>& boundaries,
+                                      const std::vector<Batch>& batches) {
+  require(!batches.empty(), "evaluate_with_nev_prefixed: no batches");
+  require(boundaries.size() == batches.size(),
+          "evaluate_with_nev_prefixed: boundary/batch count mismatch");
+  // Same accumulation as evaluate_with_nev, entering at `seg`: identical
+  // logits (upstream weights are bitwise clean, eval forwards are pure)
+  // produce identical accuracy and N-EV flags.
+  EvalResult res;
+  std::size_t total = 0, correct = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    Tensor logits = model.forward_from(seg, boundaries[i], /*training=*/false);
+    for (double v : logits.vec()) {
+      if (is_nev(v)) {
+        res.nev = true;
+        break;
+      }
+    }
+    const std::size_t n = batches[i].y.size();
+    correct += static_cast<std::size_t>(
+        std::lround(accuracy(logits, batches[i].y) * static_cast<double>(n)));
     total += n;
   }
   res.accuracy = static_cast<double>(correct) / static_cast<double>(total);

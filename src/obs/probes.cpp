@@ -98,6 +98,11 @@ void Probes::begin_step(std::uint64_t step_id) {
 
 void Probes::record(std::string_view layer, ProbePhase phase,
                     const double* data, std::size_t n) {
+  record_stats(layer, phase, tensor_stats(data, n));
+}
+
+void Probes::record_stats(std::string_view layer, ProbePhase phase,
+                          const TensorStats& stats) {
   require(!step_ids_.empty(), "Probes::record before begin_step");
   if (!frozen_) {
     layout_.push_back(ProbePoint{std::string(layer), phase});
@@ -109,7 +114,7 @@ void Probes::record(std::string_view layer, ProbePhase phase,
                 layout_[cursor_].layer + "', got '" + std::string(layer) +
                 "')");
   }
-  stats_.push_back(tensor_stats(data, n));
+  stats_.push_back(stats);
   ++cursor_;
 }
 

@@ -72,6 +72,14 @@ struct ProbePoint {
   ProbePhase phase = ProbePhase::kForward;
 };
 
+/// One (point, stats) pair lifted out of a timeline — the unit a prefix
+/// cache stores so a prefix-entered trial can splice the skipped upstream
+/// forward points back into its step (see Probes::record_stats).
+struct RecordedPoint {
+  ProbePoint point;
+  TensorStats stats;
+};
+
 /// A probe timeline: `num_steps()` training steps, each recording the same
 /// fixed sequence of probe points (the layout, learned on step 0 and frozen
 /// afterwards). Not thread-safe: one Probes belongs to one trial.
@@ -91,6 +99,16 @@ class Probes {
   /// follow the same schedule every step (enforced once frozen).
   void record(std::string_view layer, ProbePhase phase, const double* data,
               std::size_t n);
+
+  /// Append a precomputed stats block to the current step — identical to
+  /// record() except the stats come from a cache instead of a fresh pass.
+  /// This is how prefix-reuse trials stitch their timelines: the skipped
+  /// upstream forward points are spliced in from the clean baseline's cached
+  /// stats (bitwise the values a full run would have recorded), then the
+  /// executed suffix records live. Layout learning/validation is unchanged,
+  /// so stitched and full timelines are indistinguishable to diverge().
+  void record_stats(std::string_view layer, ProbePhase phase,
+                    const TensorStats& stats);
 
   std::size_t num_steps() const { return step_ids_.size(); }
   std::size_t points_per_step() const { return layout_.size(); }

@@ -1,0 +1,11 @@
+// Fixture: det-prefix-cache-mutation — cached prefix entries are shared
+// across a trial group; writing through one corrupts every later trial
+// that hits the same key.
+namespace fixture {
+
+void poke_entry(PrefixCache& cache, const PrefixKey& key) {
+  auto& entry = cache.get_or_build(key, make_builder());
+  const_cast<PrefixEntryData&>(*entry).boundary.clear();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: read-only prefix-cache consumption — const bindings and shared
+// const pointers, nothing to flag.
+namespace fixture {
+
+double sum_boundary(PrefixCache& cache, const PrefixKey& key) {
+  const auto& entry = cache.get_or_build(key, make_builder());
+  std::shared_ptr<const PrefixEntryData> held = entry;
+  double s = 0.0;
+  for (const auto& t : held->boundary) s += t.numel();
+  return s;
+}
+
+}  // namespace fixture

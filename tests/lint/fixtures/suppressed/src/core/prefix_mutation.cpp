@@ -1,0 +1,10 @@
+// Fixture: a prefix-cache mutation neutralised by a reasoned allow.
+namespace fixture {
+
+void patch_entry(PrefixCache& cache, const PrefixKey& key) {
+  // ckptfi-lint: allow(det-prefix-cache-mutation) fixture: exercising the suppression path
+  auto& entry = cache.get_or_build(key, make_builder());
+  use(entry);
+}
+
+}  // namespace fixture

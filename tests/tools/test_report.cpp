@@ -134,6 +134,26 @@ TEST(LoadJsonl, SkipsBlanksAndReportsLineNumbers) {
   EXPECT_THROW(load_jsonl("/nonexistent/rows.jsonl"), Error);
 }
 
+TEST(PrefixMetrics, ExtractsAndRendersPrefixTelemetry) {
+  const Json snap = parse(R"({
+    "counters": {"prefix.hits": 6, "prefix.misses": 2,
+                 "prefix.segments_skipped": 40, "trainer.steps": 99},
+    "gauges": {"prefix.bytes_cached": 1024.0, "arena.bytes": 7.0}
+  })");
+  const Json m = prefix_metrics(snap);
+  ASSERT_EQ(m.members().size(), 4u);  // trainer.steps/arena.bytes filtered
+  EXPECT_EQ(m.at("prefix.hits").as_int(), 6);
+  EXPECT_EQ(m.at("prefix.bytes_cached").as_double(), 1024.0);
+
+  const std::string text = render_prefix_metrics(m);
+  EXPECT_NE(text.find("prefix.hits"), std::string::npos);
+  EXPECT_NE(text.find("hit rate: 75.0%"), std::string::npos);
+  EXPECT_EQ(text.find("trainer.steps"), std::string::npos);
+
+  // No prefix activity -> empty section, so the CLI can say so explicitly.
+  EXPECT_TRUE(render_prefix_metrics(prefix_metrics(parse("{}"))).empty());
+}
+
 /// One parsed data row of bench_table4's printed N-EV table.
 struct Table4Row {
   std::string cell;  ///< framework/model/rate — the bench's cell key

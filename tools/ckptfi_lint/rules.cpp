@@ -106,6 +106,7 @@ constexpr char kNotifyUnderLock[] = "conc-notify-under-lock";
 constexpr char kAtomicFloat[] = "conc-atomic-float";
 constexpr char kArenaHeap[] = "arena-kernel-heap";
 constexpr char kBenchObs[] = "obs-bench-conventions";
+constexpr char kPrefixMutation[] = "det-prefix-cache-mutation";
 constexpr char kAllowReason[] = "lint-allow-needs-reason";
 
 /// det-rng-entropy: process-state entropy sources in deterministic modules.
@@ -366,6 +367,59 @@ void check_kernel_heap(const std::vector<Token>& toks,
   }
 }
 
+/// det-prefix-cache-mutation: PrefixCache entries are shared immutable
+/// snapshots — one cached upstream forward serves every trial in a layer
+/// group, possibly concurrently. Writing through one (const_cast, or binding
+/// get_or_build's result to a mutable reference) poisons every later trial
+/// that hits the same key: results silently stop matching the full-recompute
+/// path and the prefix-on ≡ prefix-off ctest contract breaks. Only checked
+/// in files that actually touch the cache types; the cache's own
+/// implementation (src/core/prefix_cache.cpp) legitimately builds entries
+/// in place before publishing them.
+void check_prefix_cache_mutation(const std::vector<Token>& toks,
+                                 std::vector<RawFinding>& out) {
+  bool touches_cache = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::Identifier &&
+        (t.text == "PrefixCache" || t.text == "PrefixEntryData" ||
+         t.text == "get_or_build")) {
+      touches_cache = true;
+      break;
+    }
+  }
+  if (!touches_cache) return;
+
+  const std::size_t n = toks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "const_cast") {
+      out.push_back({kPrefixMutation, t.line,
+                     "const_cast in a prefix-cache consumer: cached entries "
+                     "are shared across trials and must stay immutable"});
+      continue;
+    }
+    // "auto & name = ... get_or_build (": a mutable binding to the shared
+    // entry. `const auto&` and by-value copies are fine.
+    if (t.text == "auto" && i + 3 < n && is_punct(toks[i + 1], "&") &&
+        toks[i + 2].kind == TokKind::Identifier &&
+        is_punct(toks[i + 3], "=") &&
+        !(i >= 1 && is_ident(toks[i - 1], "const"))) {
+      const std::size_t limit = std::min(n, i + 16);
+      for (std::size_t j = i + 4; j < limit; ++j) {
+        if (is_punct(toks[j], ";")) break;
+        if (is_ident(toks[j], "get_or_build")) {
+          out.push_back(
+              {kPrefixMutation, t.line,
+               "mutable reference '" + toks[i + 2].text +
+                   "' binds a shared prefix-cache entry; take const auto&"});
+          break;
+        }
+      }
+    }
+  }
+}
+
 /// obs-bench-conventions: every bench harness stamps a run_start event (so
 /// metrics/trace artifacts record what produced them) and supports
 /// --json-out snapshots.
@@ -434,6 +488,11 @@ const std::vector<RuleInfo>& rules() {
        "Bench harnesses stamp run_start and support --json-out",
        "route options through bench::BenchOptions::parse and call "
        "bench::print_banner"},
+      {kPrefixMutation,
+       "No mutation of shared PrefixCache entries (const_cast or mutable "
+       "reference bindings of get_or_build results)",
+       "treat cached prefixes as immutable snapshots: hold them as "
+       "std::shared_ptr<const PrefixEntryData> / const auto&"},
       {kAllowReason,
        "Every ckptfi-lint suppression names a rule and carries a reason",
        "write '// ckptfi-lint: allow(<rule>) <why this is safe here>'"},
@@ -450,6 +509,10 @@ void check_file(const std::string& rel_path, std::string_view content,
     check_rng_entropy(lexed.tokens, raw);
     check_unseeded_mt19937(lexed.tokens, raw);
     check_unordered(lexed.tokens, raw);
+    // The cache implementation builds entries in place before publishing
+    // them; everywhere else the entries are read-only.
+    if (rel_path != "src/core/prefix_cache.cpp")
+      check_prefix_cache_mutation(lexed.tokens, raw);
   }
   check_notify_under_lock(lexed.tokens, raw);
   check_atomic_float(lexed.tokens, raw);

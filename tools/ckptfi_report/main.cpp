@@ -1,10 +1,14 @@
 // ckptfi-report CLI: aggregate --trials-out JSONL campaign artifacts into
 // sensitivity tables and a propagation-depth breakdown.
 //
-// usage: ckptfi_report [--json=PATH] [--cell=SUBSTRING] trials.jsonl [...]
+// usage: ckptfi_report [--json=PATH] [--cell=SUBSTRING] [--metrics=PATH]
+//     trials.jsonl [...]
 //
 //   --json=PATH       also write the full analysis as JSON to PATH
 //   --cell=SUBSTRING  only analyze rows whose "cell" contains SUBSTRING
+//   --metrics=PATH    read a bench --json-out metrics snapshot and report
+//                     its prefix-reuse telemetry (prefix.hits/misses/
+//                     spills/reloads/segments_skipped, bytes cached)
 //
 // Positional arguments (and --in=PATH, equivalently) name JSONL files as
 // written by any campaign bench's --trials-out; multiple files concatenate,
@@ -12,6 +16,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,8 +26,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json=PATH] [--cell=SUBSTRING] trials.jsonl "
-               "[more.jsonl ...]\n",
+               "usage: %s [--json=PATH] [--cell=SUBSTRING] "
+               "[--metrics=PATH] trials.jsonl [more.jsonl ...]\n",
                argv0);
   return 2;
 }
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string json_out;
   std::string cell_filter;
+  std::string metrics_in;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -49,6 +55,8 @@ int main(int argc, char** argv) {
       json_out = val;
     } else if (key == "cell") {
       cell_filter = val;
+    } else if (key == "metrics") {
+      metrics_in = val;
     } else {
       std::fprintf(stderr, "unknown option --%s\n", key.c_str());
       return usage(argv[0]);
@@ -70,6 +78,23 @@ int main(int argc, char** argv) {
     }
     const ckptfi::report::Analysis analysis = ckptfi::report::analyze(rows);
     std::fputs(ckptfi::report::render_text(analysis).c_str(), stdout);
+    ckptfi::Json prefix = ckptfi::Json::object();
+    if (!metrics_in.empty()) {
+      std::ifstream min(metrics_in);
+      if (!min) {
+        std::fprintf(stderr, "ckptfi-report: cannot read '%s'\n",
+                     metrics_in.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << min.rdbuf();
+      prefix = ckptfi::report::prefix_metrics(ckptfi::Json::parse(buf.str()));
+      const std::string section = ckptfi::report::render_prefix_metrics(prefix);
+      std::fputs(section.empty()
+                     ? "no prefix-reuse activity in the metrics snapshot\n"
+                     : section.c_str(),
+                 stdout);
+    }
     if (!json_out.empty()) {
       std::ofstream out(json_out, std::ios::trunc);
       if (!out) {
@@ -77,7 +102,9 @@ int main(int argc, char** argv) {
                      json_out.c_str());
         return 1;
       }
-      out << analysis.to_json().dump(2) << "\n";
+      ckptfi::Json j = analysis.to_json();
+      if (!metrics_in.empty()) j["prefix_reuse"] = std::move(prefix);
+      out << j.dump(2) << "\n";
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

@@ -250,4 +250,40 @@ std::string render_text(const Analysis& a) {
   return out.str();
 }
 
+Json prefix_metrics(const Json& snapshot) {
+  Json out = Json::object();
+  if (snapshot.contains("counters")) {
+    for (const auto& [name, value] : snapshot.at("counters").members()) {
+      if (name.rfind("prefix.", 0) == 0) out[name] = value;
+    }
+  }
+  if (snapshot.contains("gauges")) {
+    const Json& gauges = snapshot.at("gauges");
+    if (gauges.contains("prefix.bytes_cached"))
+      out["prefix.bytes_cached"] = gauges.at("prefix.bytes_cached");
+  }
+  return out;
+}
+
+std::string render_prefix_metrics(const Json& metrics) {
+  if (metrics.members().empty()) return "";
+  std::ostringstream out;
+  out << "prefix reuse (from the --json-out metrics snapshot):\n";
+  core::TextTable table({"metric", "value"});
+  for (const auto& [name, value] : metrics.members()) {
+    table.add_row({name, std::to_string(static_cast<long long>(
+                             value.as_double()))});
+  }
+  out << table.str();
+  const auto count = [&](const char* k) {
+    return metrics.contains(k) ? metrics.at(k).as_double() : 0.0;
+  };
+  const double hits = count("prefix.hits"), misses = count("prefix.misses");
+  if (hits + misses > 0.0) {
+    out << "hit rate: "
+        << format_fixed(100.0 * hits / (hits + misses), 1) << "%\n";
+  }
+  return out.str();
+}
+
 }  // namespace ckptfi::report

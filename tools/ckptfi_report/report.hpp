@@ -81,4 +81,16 @@ std::vector<Json> load_jsonl(const std::string& path);
 /// Render the human-readable report (the text the CLI prints).
 std::string render_text(const Analysis& a);
 
+/// Extract the prefix-reuse telemetry from a bench --json-out metrics
+/// snapshot: every "prefix.*" counter (hits, misses, spills, reloads,
+/// segments_skipped, unsafe_refusals) plus the "prefix.bytes_cached" gauge.
+/// Returns an insertion-ordered flat object; empty when the snapshot
+/// carries no prefix activity (prefix reuse off, or no layer-targeted
+/// trials).
+Json prefix_metrics(const Json& snapshot);
+
+/// Render the prefix-reuse section of the report ("" when `metrics` is
+/// empty).
+std::string render_prefix_metrics(const Json& metrics);
+
 }  // namespace ckptfi::report
