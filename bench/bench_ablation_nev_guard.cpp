@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
       "Ablation: N-EV guard vs critical-bit corruption (chainer/alexnet)",
       opt);
 
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "ablation_nev_guard"));
 
   core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
   const nn::TrainResult clean =
@@ -116,5 +117,6 @@ int main(int argc, char** argv) {
       "expected shape: unguarded trainings collapse at high rates; both "
       "guard variants remove (nearly) all collapses and keep accuracy near "
       "the clean baseline — the paper's 'virtually unbreakable' claim.\n");
+  trials_out.commit();
   return 0;
 }

@@ -18,7 +18,8 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Figure 2: bit ranges that collapse a network", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "fig2"));
 
   struct Range {
     const char* label;
@@ -82,5 +83,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: collapse happens only when the range includes the "
       "exponent MSB (bit 62); every range sparing it survives 1000 flips.\n");
+  trials_out.commit();
   return 0;
 }

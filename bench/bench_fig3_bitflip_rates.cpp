@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   opt.resume_epochs = 0;  // resume to total_epochs for the full curve
   bench::print_banner("Figure 3: sensitivity to different bit-flip rates",
                       opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "fig3"));
 
   const std::vector<std::pair<std::string, std::string>> panels = {
       {"chainer", "resnet50"}, {"pytorch", "vgg16"}, {"tensorflow", "alexnet"}};
@@ -115,5 +116,6 @@ int main(int argc, char** argv) {
       "paper shape: with the exponent MSB excluded, no rate up to 1000 "
       "flips degrades the training trajectory; curves overlap the "
       "error-free line.\n");
+  trials_out.commit();
   return 0;
 }

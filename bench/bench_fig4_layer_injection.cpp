@@ -5,6 +5,11 @@
 // finds first-layer injection dips then recovers; middle/last barely move.
 // The generated injection logs are saved for bench_fig5 to replay.
 //
+// The trial bodies live in core::Campaign ("fig4") — the same code a
+// ckptfi-worker runs for a leased shard, so a fleet-produced --trials-out
+// is byte-identical to this bench's. --fleet-manifest=PATH exports the
+// campaign for ckptfi-fleetd instead of running it here (docs/FLEET.md).
+//
 // Trials fan out per layer on core::TrialScheduler (--jobs N); each trial
 // writes its epoch trajectory into its own index slot and the mean is
 // reduced in index order afterwards, so output is --jobs invariant.
@@ -30,7 +35,6 @@
 //
 //   --layers=a,b,c  override the injected layer list (canonical names).
 #include "bench/common.hpp"
-#include "core/corrupter.hpp"
 #include "core/injection_log.hpp"
 #include "util/strings.hpp"
 
@@ -52,6 +56,14 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+/// The fig5 replay artifact: trial 0's log (meta + divergence already
+/// attached by the campaign) saved beside the bench, whether the row came
+/// from a fresh trial, a resumed row, or (via the fleet) another host.
+void save_fig5_log(const Json& row, const std::string& layer) {
+  core::InjectionLog::from_json(row.at("log"))
+      .save("fig4_log_" + layer + ".json");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,40 +76,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_fig4: --mode must be train or predict\n");
     return 2;
   }
-  bench::print_banner("Figure 4: per-layer injection, chainer/alexnet (" +
-                          mode + " mode)",
-                      opt);
-  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
 
-  core::ExperimentRunner runner(bench::make_config(opt, "chainer", "alexnet"));
-  const std::size_t epochs =
-      runner.config().total_epochs - runner.config().restart_epoch;
-
+  // Display labels for the paper's default trio; a --layers override uses
+  // the layer names as labels. The campaign itself only knows layer names.
   std::vector<std::pair<std::string, std::string>> layers = {
       {"first (conv1)", "conv1"},
       {"middle (conv4)", "conv4"},
       {"last (fc8)", "fc8"}};
+  std::vector<std::string> layer_override;
   if (!layers_csv.empty()) {
     layers.clear();
-    for (const std::string& l : split_csv(layers_csv)) layers.push_back({l, l});
+    for (const std::string& l : split_csv(layers_csv)) {
+      layers.push_back({l, l});
+      layer_override.push_back(l);
+    }
   }
 
-  auto model = runner.make_model();
-  core::ModelContext ctx = runner.make_context(*model);
+  const core::CampaignOptions copts =
+      bench::campaign_options(opt, "fig4", mode, layer_override);
+  auto campaign = core::Campaign::make(copts);
+  if (bench::export_fleet_manifest(opt, *campaign)) return 0;
 
-  const auto corrupt_layer = [&](mh5::File& ckpt, const std::string& layer,
-                                 std::uint64_t seed) {
-    core::CorrupterConfig cc;
-    cc.injection_attempts = 1000;
-    cc.corruption_mode = core::CorruptionMode::BitRange;
-    cc.first_bit = 0;
-    cc.last_bit = 61;
-    cc.use_random_locations = false;
-    cc.locations_to_corrupt = {"predictor/" + layer};
-    cc.seed = seed;
-    core::Corrupter corrupter(cc);
-    return corrupter.corrupt(ckpt, &ctx);
-  };
+  bench::print_banner("Figure 4: per-layer injection, chainer/alexnet (" +
+                          mode + " mode)",
+                      opt);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from,
+                              copts.fingerprint_hex());
+
+  const std::size_t epochs = opt.total_epochs - opt.restart_epoch;
 
   if (mode == "predict") {
     // Inference-only campaign: corrupt the restart checkpoint, load it, and
@@ -106,6 +112,7 @@ int main(int argc, char** argv) {
     core::TextTable table({"series", "mean acc", "N-EV", "trainings"});
     for (const auto& [label, layer] : layers) {
       const std::string cell = "fig4predict/" + layer;
+      campaign->prepare_cell(cell);
       std::vector<double> accs(opt.trainings, 0.0);
       std::vector<std::uint8_t> nevs(opt.trainings, 0);
       std::vector<Json> rows(opt.trainings);
@@ -116,24 +123,10 @@ int main(int argc, char** argv) {
               nevs[trial.index] = p->at("nev").as_bool() ? 1 : 0;
               return;
             }
-            mh5::File ckpt = runner.restart_checkpoint();
-            core::InjectionReport rep =
-                corrupt_layer(ckpt, layer, trial.seed);
-            const std::size_t seg =
-                opt.prefix_reuse ? runner.entry_segment(rep.log) : 0;
-            const nn::EvalResult ev = runner.predict_from_segment(ckpt, seg);
-            accs[trial.index] = ev.accuracy;
-            nevs[trial.index] = ev.nev ? 1 : 0;
-            if (trials_out.enabled()) {
-              Json row = Json::object();
-              row["cell"] = cell;
-              row["trial"] = trial.index;
-              row["seed"] = std::to_string(trial.seed);
-              row["accuracy"] = ev.accuracy;
-              row["nev"] = ev.nev;
-              row["log"] = rep.log.to_json();
-              rows[trial.index] = std::move(row);
-            }
+            Json row = campaign->run_trial(cell, trial);
+            accs[trial.index] = row.at("accuracy").as_double();
+            nevs[trial.index] = row.at("nev").as_bool() ? 1 : 0;
+            if (trials_out.enabled()) rows[trial.index] = std::move(row);
           });
       trials_out.flush_cell(cell, rows);
       double acc_sum = 0.0;
@@ -150,6 +143,7 @@ int main(int argc, char** argv) {
       std::printf(".");
       std::fflush(stdout);
     }
+    trials_out.commit();
     std::printf("\n\n%s\n", table.str().c_str());
     std::printf(
         "inference-only injections: deep-layer cells reuse nearly the whole "
@@ -160,24 +154,24 @@ int main(int argc, char** argv) {
   core::TextTable table([&] {
     std::vector<std::string> hdr = {"series"};
     for (std::size_t e = 0; e < epochs; ++e)
-      hdr.push_back("e" + std::to_string(runner.config().restart_epoch + e));
+      hdr.push_back("e" + std::to_string(opt.restart_epoch + e));
     return hdr;
   }());
 
   // Clean probed baseline: error-free resumed trajectory plus the probe
   // timeline every corrupted trial's divergence trace is measured against.
-  const core::ExperimentRunner::CleanProbedRun& clean =
-      runner.clean_probed_run();
+  const Json clean = campaign->clean_summary();
   {
     std::vector<std::string> row = {"error-free"};
-    for (const auto& s : clean.result.epochs)
-      row.push_back(format_fixed(100.0 * s.test_accuracy, 1));
+    for (const Json& a : clean.at("trajectory").items())
+      row.push_back(format_fixed(100.0 * a.as_double(), 1));
     while (row.size() < epochs + 1) row.push_back("-");
     table.add_row(row);
   }
 
   for (const auto& [label, layer] : layers) {
     const std::string cell = "fig4/" + layer;
+    campaign->prepare_cell(cell);
     std::vector<std::vector<double>> trial_acc(opt.trainings);
     std::vector<Json> rows(opt.trainings);
     bench::make_scheduler(opt, cell).run(
@@ -186,49 +180,15 @@ int main(int argc, char** argv) {
             auto& acc = trial_acc[trial.index];
             for (const Json& a : p->at("accuracy").items())
               acc.push_back(a.as_double());
-            if (trial.index == 0) {
-              // Re-save the fig5 replay artifact from the prior row's log
-              // (it already carries the meta + divergence attachments).
-              core::InjectionLog::from_json(p->at("log"))
-                  .save("fig4_log_" + layer + ".json");
-            }
+            if (trial.index == 0) save_fig5_log(*p, layer);
             return;
           }
-          mh5::File ckpt = runner.restart_checkpoint();
-          core::InjectionReport rep = corrupt_layer(ckpt, layer, trial.seed);
-          const std::size_t seg =
-              opt.prefix_reuse ? runner.entry_segment(rep.log) : 0;
-          core::ExperimentRunner::ProbedResume probed =
-              runner.resume_training_probed_from_segment(ckpt, seg);
-          const nn::TrainResult& res = probed.result;
-          const obs::DivergenceTrace div =
-              runner.divergence_vs_clean(probed.probes);
-          if (trial.index == 0) {
-            // Save the first trial's log for equivalent injection (fig 5),
-            // with its divergence trace attached for forensics.
-            rep.log.set_meta("framework", "chainer");
-            rep.log.set_meta("model", "alexnet");
-            rep.log.set_divergence(div.to_json());
-            rep.log.save("fig4_log_" + layer + ".json");
-          }
+          Json row = campaign->run_trial(cell, trial);
           auto& acc = trial_acc[trial.index];
-          for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e)
-            acc.push_back(res.epochs[e].test_accuracy);
-          if (trials_out.enabled()) {
-            Json row = Json::object();
-            row["cell"] = cell;
-            row["trial"] = trial.index;
-            row["seed"] = std::to_string(trial.seed);
-            row["collapsed"] = res.collapsed;
-            row["final_accuracy"] = res.final_accuracy;
-            row["clean_accuracy"] = clean.result.final_accuracy;
-            Json traj = Json::array();
-            for (const double a : acc) traj.push_back(a);
-            row["accuracy"] = std::move(traj);
-            row["log"] = rep.log.to_json();
-            row["divergence"] = div.to_json();
-            rows[trial.index] = std::move(row);
-          }
+          for (const Json& a : row.at("accuracy").items())
+            acc.push_back(a.as_double());
+          if (trial.index == 0) save_fig5_log(row, layer);
+          if (trials_out.enabled()) rows[trial.index] = std::move(row);
         });
     trials_out.flush_cell(cell, rows);
     // Index-order reduction: identical for every --jobs value.
@@ -251,6 +211,7 @@ int main(int argc, char** argv) {
     std::printf(".");
     std::fflush(stdout);
   }
+  trials_out.commit();
   std::printf("\n\n%s\n", table.str().c_str());
   std::printf(
       "paper shape: only first-layer injection visibly degrades accuracy at "

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
   bench::print_banner(
       "Figure 5: equivalent injection replayed in pytorch/tensorflow", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "fig5"));
 
   const std::vector<std::pair<std::string, std::string>> layers = {
       {"first (conv1)", "conv1"},
@@ -129,5 +130,6 @@ int main(int argc, char** argv) {
       "paper shape: the same per-layer bit-flip sequences, replayed at "
       "equivalent locations, are absorbed: no degradation in either target "
       "framework.\n");
+  trials_out.commit();
   return 0;
 }

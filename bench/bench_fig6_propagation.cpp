@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv, bench::trained_defaults());
   bench::print_banner("Figure 6: soft error propagation, tensorflow/alexnet",
                       opt);
-  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from,
+                              bench::bench_fingerprint(opt, "fig6"));
 
   core::ExperimentRunner runner(
       bench::make_config(opt, "tensorflow", "alexnet"));
@@ -185,5 +186,6 @@ int main(int argc, char** argv) {
       "backpropagation reach. the forensics table gives the step-resolved "
       "view: depth = distinct layers whose probe stats left the clean "
       "trajectory.\n");
+  trials_out.commit();
   return 0;
 }

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   }());
   bench::print_banner("Figure 7: scaling-factor heat map, chainer/resnet50",
                       opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "fig7"));
 
   core::ExperimentRunner runner(
       bench::make_config(opt, "chainer", "resnet50"));
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
       "the number of scaled weights; a handful of weights at factor 4500 "
       "already cuts accuracy drastically (vs baseline %s%%).\n",
       format_fixed(baseline, 1).c_str());
+  trials_out.commit();
   return 0;
 }

@@ -5,13 +5,18 @@
 // how many collapse with N-EV. The paper's shape: incidence rises from
 // <0.5% at 1 flip to ~100% at 1000 flips; VGG16 is the least affected.
 //
+// The trial bodies live in core::Campaign ("table4") — the same code a
+// ckptfi-worker runs for a leased shard, so a fleet-produced --trials-out
+// is byte-identical to this bench's. --fleet-manifest=PATH exports the
+// campaign for ckptfi-fleetd instead of running it here (docs/FLEET.md).
+//
 // Trials within a cell are independent, so the cell fans out on
 // core::TrialScheduler (--jobs N); per-trial seeds come from
 // trial_seed(campaign, index), making --jobs 8 bitwise-identical to
-// --jobs 1 (verify with --trials-out and diff).
+// --jobs 1 (verify with --trials-out and diff). --resume-from heals an
+// interrupted campaign: finished (cell, trial) rows are re-emitted
+// verbatim, only missing ones run.
 #include "bench/common.hpp"
-#include "core/corrupter.hpp"
-#include "frameworks/framework.hpp"
 #include "util/strings.hpp"
 
 using namespace ckptfi;
@@ -19,70 +24,54 @@ using bench::BenchOptions;
 
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
-  bench::print_banner("Table IV: N-EV incidence at 64-bit precision", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  const core::CampaignOptions copts = bench::campaign_options(opt, "table4");
+  auto campaign = core::Campaign::make(copts);
+  if (bench::export_fleet_manifest(opt, *campaign)) return 0;
 
-  const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
+  bench::print_banner("Table IV: N-EV incidence at 64-bit precision", opt);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from,
+                              copts.fingerprint_hex());
+
   core::TextTable table(
       {"framework", "model", "bit-flips", "trainings", "N-EV", "%"});
 
-  for (const auto& framework : fw::framework_names()) {
-    for (const auto& model : models::model_names()) {
-      core::ExperimentRunner runner(bench::make_config(opt, framework, model));
-      // Train the baseline and snapshot the restart checkpoint before the
-      // fan-out, so trials start from a warm immutable cache; the clean
-      // probed run is likewise memoized up front so trials only read it.
-      runner.restart_checkpoint();
-      const core::ExperimentRunner::CleanProbedRun& clean =
-          runner.clean_probed_run(opt.resume_epochs);
-      for (const std::uint64_t rate : rates) {
-        const std::string cell =
-            framework + "/" + model + "/" + std::to_string(rate);
-        std::vector<std::uint8_t> collapsed(opt.trainings, 0);
-        std::vector<Json> rows(opt.trainings);
-        bench::make_scheduler(opt, cell).run(
-            opt.trainings, [&](const core::TrialContext& trial) {
-              mh5::File ckpt = runner.restart_checkpoint();
-              core::CorrupterConfig cc;
-              cc.injection_attempts = static_cast<double>(rate);
-              cc.corruption_mode = core::CorruptionMode::BitRange;
-              cc.first_bit = 0;
-              cc.last_bit = 63;  // full range, critical bit included
-              cc.seed = trial.seed;
-              core::Corrupter corrupter(cc);
-              core::InjectionReport rep = corrupter.corrupt(ckpt);
-              core::ExperimentRunner::ProbedResume probed =
-                  runner.resume_training_probed(ckpt, opt.resume_epochs);
-              const nn::TrainResult& res = probed.result;
-              collapsed[trial.index] = res.collapsed ? 1 : 0;
-              if (trials_out.enabled()) {
-                const obs::DivergenceTrace div = runner.divergence_vs_clean(
-                    probed.probes, opt.resume_epochs);
-                Json row = Json::object();
-                row["cell"] = cell;
-                row["trial"] = trial.index;
-                row["seed"] = std::to_string(trial.seed);
-                row["collapsed"] = res.collapsed;
-                row["final_accuracy"] = res.final_accuracy;
-                row["clean_accuracy"] = clean.result.final_accuracy;
-                row["log"] = rep.log.to_json();
-                row["divergence"] = div.to_json();
-                rows[trial.index] = std::move(row);
-              }
-            });
-        trials_out.flush_cell(rows);
-        std::size_t nev = 0;
-        for (const auto c : collapsed) nev += c;
-        table.add_row({framework, model, std::to_string(rate),
-                       std::to_string(opt.trainings), std::to_string(nev),
-                       format_fixed(100.0 * static_cast<double>(nev) /
-                                        static_cast<double>(opt.trainings),
-                                    1)});
-      }
+  std::string last_model;
+  for (const core::CampaignCell& cell : campaign->cells()) {
+    const std::vector<std::string> parts = split_path(cell.name);
+    const std::string& framework = parts[0];
+    const std::string& model = parts[1];
+    const std::string& rate = parts[2];
+
+    campaign->prepare_cell(cell.name);
+    std::vector<std::uint8_t> collapsed(cell.trials, 0);
+    std::vector<Json> rows(cell.trials);
+    bench::make_scheduler(opt, cell.name)
+        .run(cell.trials, [&](const core::TrialContext& trial) {
+          if (const Json* p = trials_out.prior(cell.name, trial.index)) {
+            collapsed[trial.index] = p->at("collapsed").as_bool() ? 1 : 0;
+            return;
+          }
+          Json row = campaign->run_trial(cell.name, trial);
+          collapsed[trial.index] = row.at("collapsed").as_bool() ? 1 : 0;
+          if (trials_out.enabled()) rows[trial.index] = std::move(row);
+        });
+    trials_out.flush_cell(cell.name, rows);
+
+    std::size_t nev = 0;
+    for (const auto c : collapsed) nev += c;
+    table.add_row({framework, model, rate, std::to_string(cell.trials),
+                   std::to_string(nev),
+                   format_fixed(100.0 * static_cast<double>(nev) /
+                                    static_cast<double>(cell.trials),
+                                1)});
+    const std::string fm = framework + "/" + model;
+    if (fm != last_model) {
+      last_model = fm;
       std::printf(".");
       std::fflush(stdout);
     }
   }
+  trials_out.commit();
   std::printf("\n\n%s\n", table.str().c_str());
   std::printf(
       "paper shape: ~0-0.4%% at 1 flip, rising with rate to >90%% at 1000 "

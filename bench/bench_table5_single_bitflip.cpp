@@ -22,7 +22,8 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table V: sensitivity to 1 bit-flip (RWC)", opt);
-  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from,
+                              bench::bench_fingerprint(opt, "table5"));
 
   core::TextTable table(
       {"model", "framework", "trainings", "RWC", "%"});
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper shape: most cells absorb the flip (RWC 46-98.8%%); when not "
       "absorbed the accuracy change is minor, never a collapse.\n");
+  trials_out.commit();
   return 0;
 }

@@ -21,7 +21,8 @@ using bench::BenchOptions;
 int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner("Table VI: multi-bit masks on ResNet50", opt);
-  bench::TrialRows trials_out(opt.trials_out, opt.resume_from);
+  bench::TrialRows trials_out(opt.trials_out, opt.resume_from,
+                              bench::bench_fingerprint(opt, "table6"));
 
   struct MaskRow {
     int bits;
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
       "paper shape: masks applied in mantissa/low exponent bits leave "
       "accuracy near baseline; occasional N-EV when a mask lands in high "
       "exponent bits, more often for denser masks.\n");
+  trials_out.commit();
   return 0;
 }

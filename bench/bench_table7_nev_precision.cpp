@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const BenchOptions opt = BenchOptions::parse(argc, argv);
   bench::print_banner(
       "Table VII: N-EV incidence at 16/32-bit precision (chainer)", opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "table7"));
 
   const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
   core::TextTable table(
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
       "paper shape: N-EV rate rises with flip count at every precision; "
       "incidence is not strictly tied to precision, with a mild reduction "
       "at 1000 flips for 16-bit vs 32-bit on ResNet/AlexNet.\n");
+  trials_out.commit();
   return 0;
 }

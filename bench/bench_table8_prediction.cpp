@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "Table VIII: prediction under precision x bit-flip rate (chainer)",
       opt);
-  bench::TrialRows trials_out(opt.trials_out);
+  bench::TrialRows trials_out(opt.trials_out, "",
+                              bench::bench_fingerprint(opt, "table8"));
 
   const std::vector<std::uint64_t> rates = {0, 1, 10, 100, 1000};
   core::TextTable table({"precision", "model", "bit-flips", "avg-acc(%)",
@@ -113,5 +114,6 @@ int main(int argc, char** argv) {
       "paper shape: prediction (unlike training) degrades with flip rate, "
       "and degrades more at lower precision; ResNet is the most N-EV-prone "
       "model at high rates.\n");
+  trials_out.commit();
   return 0;
 }

@@ -29,7 +29,14 @@
 //                      missing ones run. Per-trial splitmix64 seeds are pure
 //                      functions of (--seed, cell, index), so a resumed
 //                      file is bitwise-identical to an uninterrupted run.
-//                      May name the same path as --trials-out.
+//                      May name the same path as --trials-out. Torn trailing
+//                      lines (a campaign killed mid-write) are skipped with
+//                      a warning; rows stamped with a different campaign
+//                      fingerprint (see "fp" below) are refused outright.
+//   --fleet-manifest=PATH
+//                      fleet-capable benches (table4, fig4): write the
+//                      campaign manifest for ckptfi-fleetd to PATH and exit
+//                      without running any trials (docs/FLEET.md).
 //   --prefix-reuse=on|off
 //                      layer-targeted benches: reuse cached activation
 //                      prefixes for trial groups that share an injected
@@ -45,14 +52,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/trial_log.hpp"
 #include "obs/obs.hpp"
 #include "tensor/kernels.hpp"
 #include "util/crc32.hpp"
@@ -84,6 +93,7 @@ struct BenchOptions {
   std::string trace_out;  ///< Chrome trace destination ("" = don't record)
   std::string trials_out; ///< per-trial JSONL destination ("" = don't emit)
   std::string resume_from;  ///< prior trials JSONL to resume from ("" = none)
+  std::string fleet_manifest;  ///< manifest export path ("" = run normally)
 
   /// Extra bench-specific --key=value string options: parse fills the bound
   /// strings and treats the keys as known.
@@ -164,6 +174,10 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       o.resume_from = arg.substr(eq + 1);
       continue;
     }
+    if (key == "fleet-manifest") {
+      o.fleet_manifest = arg.substr(eq + 1);
+      continue;
+    }
     if (key == "prefix-reuse") {
       const std::string v = arg.substr(eq + 1);
       o.prefix_reuse = !(v == "off" || v == "0" || v == "false");
@@ -189,7 +203,21 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
       }
       continue;
     }
-    const auto val = static_cast<std::size_t>(std::stoull(arg.substr(eq + 1)));
+    // Everything below is numeric. stoull throws std::invalid_argument on
+    // junk and std::out_of_range past 2^64 — either one escaping main() is
+    // an abort with no hint which flag was wrong, so translate both into a
+    // usage error that names the flag.
+    std::size_t val = 0;
+    try {
+      const std::string text = arg.substr(eq + 1);
+      std::size_t used = 0;
+      val = static_cast<std::size_t>(std::stoull(text, &used));
+      if (used != text.size()) throw std::invalid_argument(text);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bench: --%s wants a number, got '%s'\n",
+                   key.c_str(), arg.c_str() + eq + 1);
+      std::exit(2);
+    }
     if (key == "trainings") {
       o.trainings = val;
     } else if (key == "train-images") {
@@ -221,10 +249,11 @@ inline BenchOptions BenchOptions::parse(int argc, char** argv,
 /// Per-cell campaign seed: the master seed mixed with the cell's identity
 /// string ("framework/model/rate"), so every cell fans out decorrelated
 /// trial streams while staying a pure function of (--seed, cell) — never of
-/// --jobs or scheduling.
+/// --jobs or scheduling. Delegates to the campaign library so bench and
+/// fleet-worker seeds can never drift apart.
 inline std::uint64_t campaign_seed(const BenchOptions& o,
                                    const std::string& cell) {
-  return core::trial_seed(o.seed, crc32(cell.data(), cell.size()));
+  return core::campaign_cell_seed(o.seed, cell);
 }
 
 /// Scheduler for one experiment cell's trial fan-out.
@@ -245,84 +274,146 @@ inline core::TrialScheduler make_scheduler(const BenchOptions& o,
 /// With a --resume-from file, rows from the prior run are indexed by
 /// (cell, trial): benches consult prior() to skip finished trials, and
 /// flush_cell(cell, rows) re-emits a skipped trial's original line verbatim
-/// — so a resumed file is byte-identical to an uninterrupted run's. The
-/// prior file is fully loaded before the output opens, so resuming in place
-/// (--resume-from=X --trials-out=X) is safe.
+/// — so a resumed file is byte-identical to an uninterrupted run's.
+///
+/// Crash-safety is core::TrialLogReader/TrialLogWriter's (see
+/// src/core/trial_log.hpp): torn trailing lines in the resume file are
+/// skipped, rows from a different campaign (mismatched "fp" fingerprint)
+/// are refused, and output goes through `path + ".tmp"` + an atomic rename
+/// at commit() — so resuming in place (--resume-from=X --trials-out=X)
+/// cannot destroy the only copy of the prior artifact. The bench MUST call
+/// commit() after its last flush_cell; exiting without it leaves only the
+/// temp file (exactly what a crash would leave).
 class TrialRows {
  public:
   explicit TrialRows(const std::string& path,
-                     const std::string& resume_from = "") {
+                     const std::string& resume_from = "",
+                     const std::string& fp_hex = "")
+      : fp_hex_(fp_hex) {
     if (!resume_from.empty()) {
-      std::ifstream in(resume_from);
-      if (!in) {
-        std::fprintf(stderr, "bench: cannot read --resume-from '%s'\n",
-                     resume_from.c_str());
+      try {
+        prior_.load(resume_from, fp_hex);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench: %s\n", e.what());
         std::exit(2);
-      }
-      std::string line;
-      while (std::getline(in, line)) {
-        if (line.empty()) continue;
-        Json row = Json::parse(line);
-        if (!row.is_object() || !row.contains("cell") ||
-            !row.contains("trial"))
-          continue;  // not a trial row (tolerate foreign lines)
-        const auto key = std::make_pair(
-            row.at("cell").as_string(),
-            static_cast<std::size_t>(row.at("trial").as_int()));
-        prior_[key] = Prior{line, std::move(row)};
       }
     }
     if (path.empty()) return;
-    out_.emplace(path, std::ios::trunc);
-    if (!*out_) {
-      std::fprintf(stderr, "bench: cannot write trials to '%s'\n",
-                   path.c_str());
+    try {
+      out_.open(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
       std::exit(2);
     }
   }
 
-  bool enabled() const { return out_.has_value(); }
+  bool enabled() const { return out_.is_open(); }
 
   /// The prior run's row for (cell, trial), or nullptr when it must run.
   const Json* prior(const std::string& cell, std::size_t trial) const {
-    const auto hit = prior_.find({cell, trial});
-    return hit == prior_.end() ? nullptr : &hit->second.row;
+    const core::TrialLogReader::Row* hit = prior_.find(cell, trial);
+    return hit == nullptr ? nullptr : &hit->row;
   }
 
-  void flush_cell(const std::vector<Json>& rows) { flush_cell("", rows); }
+  void flush_cell(std::vector<Json>& rows) { flush_cell("", rows); }
 
-  /// Flush one cell in index order. Null rows (trials skipped via prior())
-  /// fall back to the prior file's original line, byte for byte.
-  void flush_cell(const std::string& cell, const std::vector<Json>& rows) {
-    if (!out_) return;
+  /// Flush one cell in index order, stamping the campaign fingerprint onto
+  /// fresh rows. Null rows (trials skipped via prior()) fall back to the
+  /// prior file's original line, byte for byte.
+  void flush_cell(const std::string& cell, std::vector<Json>& rows) {
+    if (!enabled()) return;
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (rows[i].is_null() && !cell.empty()) {
-        const auto hit = prior_.find({cell, i});
-        if (hit != prior_.end()) {
-          *out_ << hit->second.line << "\n";
+        const core::TrialLogReader::Row* hit = prior_.find(cell, i);
+        if (hit != nullptr) {
+          out_.write_line(hit->line);
           continue;
         }
       }
-      *out_ << rows[i].dump() << "\n";
+      core::stamp_fingerprint(rows[i], fp_hex_);
+      out_.write_line(rows[i].dump());
     }
-    out_->flush();
+    out_.flush();
+  }
+
+  /// Rename the temp file onto the real path. Call once, after the last
+  /// cell; exits with a diagnostic on I/O failure.
+  void commit() {
+    if (!enabled()) return;
+    try {
+      out_.commit();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
+      std::exit(1);
+    }
   }
 
  private:
-  struct Prior {
-    std::string line;  ///< original JSONL text, re-emitted verbatim
-    Json row;
-  };
-  std::map<std::pair<std::string, std::size_t>, Prior> prior_;
-  std::optional<std::ofstream> out_;
+  std::string fp_hex_;
+  core::TrialLogReader prior_;
+  core::TrialLogWriter out_;
 };
 
 /// Per-model width: ResNet50 has ~3x the layer count, so it gets half the
-/// base width to keep bench wall-clock balanced across models.
+/// base width to keep bench wall-clock balanced across models. Delegates to
+/// the campaign library (fleet workers size models the same way).
 inline std::size_t model_width(const BenchOptions& o,
                                const std::string& model) {
-  if (model == "resnet50") return std::max<std::size_t>(2, o.width / 2);
-  return o.width;
+  return core::campaign_model_width(o.width, model);
+}
+
+/// The campaign identity behind a bench invocation: the bench name plus
+/// every BenchOptions field that can change a trial row's bytes. Feeds both
+/// the row fingerprint ("fp") and the fleet manifest.
+inline core::CampaignOptions campaign_options(
+    const BenchOptions& o, const std::string& bench,
+    const std::string& mode = "", const std::vector<std::string>& layers = {}) {
+  core::CampaignOptions c;
+  c.bench = bench;
+  c.mode = mode.empty() ? "train" : mode;
+  c.layers = layers;
+  c.trainings = o.trainings;
+  c.train_images = o.train_images;
+  c.test_images = o.test_images;
+  c.width = o.width;
+  c.total_epochs = o.total_epochs;
+  c.restart_epoch = o.restart_epoch;
+  c.resume_epochs = o.resume_epochs;
+  c.seed = o.seed;
+  c.prefix_reuse = o.prefix_reuse;
+  return c;
+}
+
+/// Campaign fingerprint for a bench's rows (8 hex chars, the "fp" field).
+inline std::string bench_fingerprint(const BenchOptions& o,
+                                     const std::string& bench,
+                                     const std::string& mode = "",
+                                     const std::vector<std::string>& layers =
+                                         {}) {
+  return campaign_options(o, bench, mode, layers).fingerprint_hex();
+}
+
+/// --fleet-manifest handling for fleet-capable benches: write the campaign
+/// manifest and return true (caller exits 0 without running trials).
+inline bool export_fleet_manifest(const BenchOptions& o,
+                                  const core::Campaign& campaign) {
+  if (o.fleet_manifest.empty()) return false;
+  std::ofstream out(o.fleet_manifest, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write --fleet-manifest '%s'\n",
+                 o.fleet_manifest.c_str());
+    std::exit(2);
+  }
+  out << core::campaign_manifest(campaign).dump(2) << "\n";
+  std::size_t trials = 0;
+  for (const core::CampaignCell& c : campaign.cells()) trials += c.trials;
+  std::printf(
+      "wrote fleet manifest '%s' (campaign %s: %zu cells, %zu trials) — "
+      "run it with ckptfi-fleetd + ckptfi-worker\n",
+      o.fleet_manifest.c_str(),
+      campaign.options().fingerprint_hex().c_str(), campaign.cells().size(),
+      trials);
+  return true;
 }
 
 /// Defaults for benches that measure accuracy degradation: models must be

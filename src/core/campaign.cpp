@@ -1,0 +1,387 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "core/corrupter.hpp"
+#include "core/experiment.hpp"
+#include "core/injection_log.hpp"
+#include "core/trial_log.hpp"
+#include "frameworks/framework.hpp"
+#include "models/models.hpp"
+#include "util/common.hpp"
+#include "util/crc32.hpp"
+#include "util/strings.hpp"
+
+namespace ckptfi::core {
+
+std::uint64_t campaign_cell_seed(std::uint64_t master_seed,
+                                 const std::string& cell) {
+  return trial_seed(master_seed, crc32(cell.data(), cell.size()));
+}
+
+std::size_t campaign_model_width(std::size_t width, const std::string& model) {
+  if (model == "resnet50") return std::max<std::size_t>(2, width / 2);
+  return width;
+}
+
+std::string CampaignOptions::canonical() const {
+  std::string layer_csv;
+  for (const std::string& l : layers) {
+    if (!layer_csv.empty()) layer_csv += ",";
+    layer_csv += l;
+  }
+  return "ckptfi-campaign-v1|bench=" + bench + "|mode=" + mode +
+         "|layers=" + layer_csv + "|seed=" + std::to_string(seed) +
+         "|ti=" + std::to_string(train_images) +
+         "|te=" + std::to_string(test_images) +
+         "|w=" + std::to_string(width) +
+         "|ep=" + std::to_string(total_epochs) +
+         "|re=" + std::to_string(restart_epoch) +
+         "|res=" + std::to_string(resume_epochs);
+}
+
+std::uint32_t CampaignOptions::fingerprint() const {
+  return campaign_fingerprint(canonical());
+}
+
+std::string CampaignOptions::fingerprint_hex() const {
+  return core::fingerprint_hex(fingerprint());
+}
+
+Json CampaignOptions::to_json() const {
+  Json j = Json::object();
+  j["bench"] = bench;
+  j["mode"] = mode;
+  Json ls = Json::array();
+  for (const std::string& l : layers) ls.push_back(l);
+  j["layers"] = std::move(ls);
+  j["trainings"] = trainings;
+  j["train_images"] = train_images;
+  j["test_images"] = test_images;
+  j["width"] = width;
+  j["total_epochs"] = total_epochs;
+  j["restart_epoch"] = restart_epoch;
+  j["resume_epochs"] = resume_epochs;
+  // Seeds are u64; JSON ints are i64, so the seed travels as a string (the
+  // same convention trial rows use).
+  j["seed"] = std::to_string(seed);
+  j["prefix_reuse"] = prefix_reuse;
+  return j;
+}
+
+CampaignOptions CampaignOptions::from_json(const Json& j) {
+  CampaignOptions o;
+  o.bench = j.at("bench").as_string();
+  o.mode = j.at("mode").as_string();
+  o.layers.clear();
+  if (j.contains("layers")) {
+    for (const Json& l : j.at("layers").items())
+      o.layers.push_back(l.as_string());
+  }
+  const auto as_size = [&](const char* key) {
+    return static_cast<std::size_t>(j.at(key).as_int());
+  };
+  o.trainings = as_size("trainings");
+  o.train_images = as_size("train_images");
+  o.test_images = as_size("test_images");
+  o.width = as_size("width");
+  o.total_epochs = as_size("total_epochs");
+  o.restart_epoch = as_size("restart_epoch");
+  o.resume_epochs = as_size("resume_epochs");
+  o.seed = std::stoull(j.at("seed").as_string());
+  o.prefix_reuse = j.at("prefix_reuse").as_bool();
+  return o;
+}
+
+namespace {
+
+ExperimentConfig experiment_config(const CampaignOptions& o,
+                                   const std::string& framework,
+                                   const std::string& model) {
+  ExperimentConfig cfg;
+  cfg.framework = framework;
+  cfg.model = model;
+  cfg.model_cfg.width = campaign_model_width(o.width, model);
+  cfg.data_cfg.num_train = o.train_images;
+  cfg.data_cfg.num_test = o.test_images;
+  cfg.total_epochs = o.total_epochs;
+  cfg.restart_epoch = o.restart_epoch;
+  cfg.precision_bits = 64;
+  cfg.seed = o.seed;
+  return cfg;
+}
+
+// ------------------------------------------------------------- Table IV --
+//
+// Cells are framework/model/rate; each trial corrupts the restart checkpoint
+// with `rate` full-bit-range flips and resumes training, recording collapse
+// (N-EV), accuracies and the divergence trace. Body lifted verbatim from
+// bench_table4_nev_incidence so bench and fleet rows are the same bytes.
+class Table4Campaign final : public Campaign {
+ public:
+  explicit Table4Campaign(CampaignOptions opts) : Campaign(std::move(opts)) {
+    for (const auto& framework : fw::framework_names()) {
+      for (const auto& model : models::model_names()) {
+        for (const std::uint64_t rate : kRates) {
+          cells_.push_back({framework + "/" + model + "/" +
+                                std::to_string(rate),
+                            opts_.trainings});
+        }
+      }
+    }
+    fp_hex_ = opts_.fingerprint_hex();
+  }
+
+  void prepare_cell(const std::string& cell) override {
+    const Parsed p = parse_cell(cell);
+    ExperimentRunner& runner = runner_for(p.framework, p.model);
+    // Train the baseline and snapshot the restart checkpoint before the
+    // fan-out, so trials start from a warm immutable cache; the clean probed
+    // run is likewise memoized up front so trials only read it.
+    runner.restart_checkpoint();
+    runner.clean_probed_run(opts_.resume_epochs);
+  }
+
+  Json run_trial(const std::string& cell, const TrialContext& trial) override {
+    const Parsed p = parse_cell(cell);
+    ExperimentRunner& runner = *runners_.at(p.framework + "/" + p.model);
+    mh5::File ckpt = runner.restart_checkpoint();
+    CorrupterConfig cc;
+    cc.injection_attempts = static_cast<double>(p.rate);
+    cc.corruption_mode = CorruptionMode::BitRange;
+    cc.first_bit = 0;
+    cc.last_bit = 63;  // full range, critical bit included
+    cc.seed = trial.seed;
+    Corrupter corrupter(cc);
+    InjectionReport rep = corrupter.corrupt(ckpt);
+    ExperimentRunner::ProbedResume probed =
+        runner.resume_training_probed(ckpt, opts_.resume_epochs);
+    const nn::TrainResult& res = probed.result;
+    const obs::DivergenceTrace div =
+        runner.divergence_vs_clean(probed.probes, opts_.resume_epochs);
+    const ExperimentRunner::CleanProbedRun& clean =
+        runner.clean_probed_run(opts_.resume_epochs);
+    Json row = Json::object();
+    row["cell"] = cell;
+    row["trial"] = trial.index;
+    row["seed"] = std::to_string(trial.seed);
+    row["collapsed"] = res.collapsed;
+    row["final_accuracy"] = res.final_accuracy;
+    row["clean_accuracy"] = clean.result.final_accuracy;
+    row["log"] = rep.log.to_json();
+    row["divergence"] = div.to_json();
+    stamp_fingerprint(row, fp_hex_);
+    return row;
+  }
+
+ private:
+  static constexpr std::uint64_t kRates[] = {1, 10, 100, 1000};
+
+  struct Parsed {
+    std::string framework;
+    std::string model;
+    std::uint64_t rate;
+  };
+
+  static Parsed parse_cell(const std::string& cell) {
+    const std::vector<std::string> parts = split_path(cell);
+    if (parts.size() != 3) {
+      throw Error("table4: bad cell name '" + cell + "'");
+    }
+    return {parts[0], parts[1], std::stoull(parts[2])};
+  }
+
+  ExperimentRunner& runner_for(const std::string& framework,
+                               const std::string& model) {
+    const std::string key = framework + "/" + model;
+    auto it = runners_.find(key);
+    if (it == runners_.end()) {
+      it = runners_
+               .emplace(key, std::make_unique<ExperimentRunner>(
+                                 experiment_config(opts_, framework, model)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  std::string fp_hex_;
+  /// Keyed framework/model; built in prepare_cell (single-threaded), only
+  /// read by run_trial. Runners serialize their own mutating paths.
+  std::map<std::string, std::unique_ptr<ExperimentRunner>> runners_;
+};
+
+// ------------------------------------------------------------- Figure 4 --
+//
+// Per-layer injection into chainer/alexnet. Cells are one per injected
+// layer; mode "train" resumes training (the paper's trajectories), mode
+// "predict" is the inference-only prefix-reuse campaign. Bodies lifted from
+// bench_fig4_layer_injection.
+class Fig4Campaign final : public Campaign {
+ public:
+  explicit Fig4Campaign(CampaignOptions opts) : Campaign(std::move(opts)) {
+    layers_ = opts_.layers;
+    if (layers_.empty()) layers_ = {"conv1", "conv4", "fc8"};
+    const std::string prefix =
+        opts_.mode == "predict" ? "fig4predict/" : "fig4/";
+    for (const std::string& layer : layers_) {
+      cells_.push_back({prefix + layer, opts_.trainings});
+    }
+    fp_hex_ = opts_.fingerprint_hex();
+  }
+
+  void prepare_cell(const std::string& cell) override {
+    layer_of(cell);  // validates the name
+    ensure_runner();
+    runner_->restart_checkpoint();
+    if (opts_.mode == "train") runner_->clean_probed_run();
+  }
+
+  Json clean_summary() override {
+    if (opts_.mode != "train") return Json();
+    ensure_runner();
+    const ExperimentRunner::CleanProbedRun& clean =
+        runner_->clean_probed_run();
+    Json j = Json::object();
+    Json traj = Json::array();
+    for (const auto& s : clean.result.epochs)
+      traj.push_back(s.test_accuracy);
+    j["trajectory"] = std::move(traj);
+    j["final_accuracy"] = clean.result.final_accuracy;
+    return j;
+  }
+
+  Json run_trial(const std::string& cell, const TrialContext& trial) override {
+    const std::string layer = layer_of(cell);
+    ExperimentRunner& runner = *runner_;
+    mh5::File ckpt = runner.restart_checkpoint();
+    InjectionReport rep = corrupt_layer(ckpt, layer, trial.seed);
+    const std::size_t seg =
+        opts_.prefix_reuse ? runner.entry_segment(rep.log) : 0;
+
+    Json row = Json::object();
+    row["cell"] = cell;
+    row["trial"] = trial.index;
+    row["seed"] = std::to_string(trial.seed);
+
+    if (opts_.mode == "predict") {
+      const nn::EvalResult ev = runner.predict_from_segment(ckpt, seg);
+      row["accuracy"] = ev.accuracy;
+      row["nev"] = ev.nev;
+      row["log"] = rep.log.to_json();
+      stamp_fingerprint(row, fp_hex_);
+      return row;
+    }
+
+    const std::size_t epochs =
+        runner.config().total_epochs - runner.config().restart_epoch;
+    ExperimentRunner::ProbedResume probed =
+        runner.resume_training_probed_from_segment(ckpt, seg);
+    const nn::TrainResult& res = probed.result;
+    const obs::DivergenceTrace div = runner.divergence_vs_clean(probed.probes);
+    if (trial.index == 0) {
+      // Trial 0's log is the fig5 replay artifact; it carries the model
+      // meta and its divergence trace. The bench driver saves it from the
+      // row — workers just ship the bytes.
+      rep.log.set_meta("framework", "chainer");
+      rep.log.set_meta("model", "alexnet");
+      rep.log.set_divergence(div.to_json());
+    }
+    const ExperimentRunner::CleanProbedRun& clean = runner.clean_probed_run();
+    row["collapsed"] = res.collapsed;
+    row["final_accuracy"] = res.final_accuracy;
+    row["clean_accuracy"] = clean.result.final_accuracy;
+    Json traj = Json::array();
+    for (std::size_t e = 0; e < res.epochs.size() && e < epochs; ++e)
+      traj.push_back(res.epochs[e].test_accuracy);
+    row["accuracy"] = std::move(traj);
+    row["log"] = rep.log.to_json();
+    row["divergence"] = div.to_json();
+    stamp_fingerprint(row, fp_hex_);
+    return row;
+  }
+
+ private:
+  void ensure_runner() {
+    if (runner_ != nullptr) return;
+    runner_ = std::make_unique<ExperimentRunner>(
+        experiment_config(opts_, "chainer", "alexnet"));
+    model_ = runner_->make_model();
+    ctx_ = std::make_unique<ModelContext>(runner_->make_context(*model_));
+  }
+
+  std::string layer_of(const std::string& cell) const {
+    const auto slash = cell.rfind('/');
+    const std::string layer =
+        slash == std::string::npos ? cell : cell.substr(slash + 1);
+    if (std::find(layers_.begin(), layers_.end(), layer) == layers_.end()) {
+      throw Error("fig4: unknown cell '" + cell + "'");
+    }
+    return layer;
+  }
+
+  InjectionReport corrupt_layer(mh5::File& ckpt, const std::string& layer,
+                                std::uint64_t seed) {
+    CorrupterConfig cc;
+    cc.injection_attempts = 1000;
+    cc.corruption_mode = CorruptionMode::BitRange;
+    cc.first_bit = 0;
+    cc.last_bit = 61;
+    cc.use_random_locations = false;
+    cc.locations_to_corrupt = {"predictor/" + layer};
+    cc.seed = seed;
+    Corrupter corrupter(cc);
+    return corrupter.corrupt(ckpt, ctx_.get());
+  }
+
+  std::string fp_hex_;
+  std::vector<std::string> layers_;
+  std::unique_ptr<ExperimentRunner> runner_;
+  std::unique_ptr<nn::Model> model_;  ///< keeps ctx_'s layer references alive
+  std::unique_ptr<ModelContext> ctx_;
+};
+
+}  // namespace
+
+std::unique_ptr<Campaign> Campaign::make(const CampaignOptions& opts) {
+  if (opts.bench == "table4") return std::make_unique<Table4Campaign>(opts);
+  if (opts.bench == "fig4") return std::make_unique<Fig4Campaign>(opts);
+  throw Error("unknown campaign kind '" + opts.bench +
+              "' (fleet-capable: table4, fig4)");
+}
+
+Json campaign_manifest(const Campaign& campaign) {
+  Json j = Json::object();
+  j["ckptfi_fleet_manifest"] = 1;
+  j["options"] = campaign.options().to_json();
+  j["fp"] = campaign.options().fingerprint_hex();
+  Json cells = Json::array();
+  for (const CampaignCell& c : campaign.cells()) {
+    Json cj = Json::object();
+    cj["name"] = c.name;
+    cj["trials"] = c.trials;
+    cells.push_back(std::move(cj));
+  }
+  j["cells"] = std::move(cells);
+  return j;
+}
+
+std::unique_ptr<Campaign> campaign_from_manifest(const Json& manifest) {
+  if (!manifest.is_object() || !manifest.contains("ckptfi_fleet_manifest") ||
+      manifest.at("ckptfi_fleet_manifest").as_int() != 1) {
+    throw FormatError("not a ckptfi fleet manifest (version 1)");
+  }
+  const CampaignOptions opts =
+      CampaignOptions::from_json(manifest.at("options"));
+  if (manifest.contains("fp") &&
+      manifest.at("fp").as_string() != opts.fingerprint_hex()) {
+    throw FormatError("manifest fingerprint " +
+                      manifest.at("fp").as_string() +
+                      " does not match its options (recomputed " +
+                      opts.fingerprint_hex() + "); refusing a drifted manifest");
+  }
+  return Campaign::make(opts);
+}
+
+}  // namespace ckptfi::core

@@ -104,13 +104,16 @@ class Progress {
 };
 
 // One trial: attribution scope + latency/progress metrics around the body.
+// `base` is the shard's first global index — Progress slots are shard-local.
 void run_trial(const TrialScheduler::TrialFn& fn, const TrialContext& ctx,
-               Progress* progress) {
+               Progress* progress, std::size_t base) {
   obs::ScopedTrialIndex attribution(ctx.index);
   obs::Span span("campaign.trial", "campaign", "campaign.trial_time");
   const auto t0 = progress != nullptr ? Clock::now() : Clock::time_point{};
   fn(ctx);
-  if (progress != nullptr) progress->trial_done(ctx.index, Clock::now() - t0);
+  if (progress != nullptr) {
+    progress->trial_done(ctx.index - base, Clock::now() - t0);
+  }
   obs::counter_add("campaign.trials_done");
 }
 
@@ -136,13 +139,15 @@ TrialScheduler::TrialScheduler(Config cfg) : cfg_(cfg) {
   if (cfg_.pool == nullptr) cfg_.pool = &ThreadPool::global();
 }
 
-void TrialScheduler::run(std::size_t n, const TrialFn& fn) const {
-  if (n == 0) return;
+void TrialScheduler::run_range(std::size_t begin, std::size_t end,
+                               const TrialFn& fn) const {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;  // shard size; indices stay global
   ThreadPool& pool = *cfg_.pool;
   obs::gauge_set("campaign.jobs", static_cast<double>(cfg_.jobs));
 
   ErrorSlot err;
-  err.index = n;
+  err.index = end;
 
   std::unique_ptr<Progress> progress;
   if (cfg_.progress_interval_s > 0.0) {
@@ -154,9 +159,10 @@ void TrialScheduler::run(std::size_t n, const TrialFn& fn) const {
   if (pumps <= 1 || pool.in_worker()) {
     // Serial path — same error contract as the parallel one: every trial
     // runs, the lowest-index failure surfaces at the end.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       try {
-        run_trial(fn, {i, trial_seed(cfg_.campaign_seed, i)}, progress.get());
+        run_trial(fn, {i, trial_seed(cfg_.campaign_seed, i)}, progress.get(),
+                  begin);
       } catch (...) {
         err.offer(i, std::current_exception());
       }
@@ -176,14 +182,16 @@ void TrialScheduler::run(std::size_t n, const TrialFn& fn) const {
     };
     auto join = std::make_shared<Join>();
     join->active = pumps;
+    join->next.store(begin, std::memory_order_relaxed);
     for (std::size_t p = 0; p < pumps; ++p) {
-      pool.submit([this, join, &fn, &err, n, prog = progress.get()] {
+      pool.submit([this, join, &fn, &err, begin, end,
+                   prog = progress.get()] {
         for (;;) {
           const std::size_t i =
               join->next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) break;
+          if (i >= end) break;
           try {
-            run_trial(fn, {i, trial_seed(cfg_.campaign_seed, i)}, prog);
+            run_trial(fn, {i, trial_seed(cfg_.campaign_seed, i)}, prog, begin);
           } catch (...) {
             err.offer(i, std::current_exception());
           }

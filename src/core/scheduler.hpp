@@ -74,7 +74,13 @@ class TrialScheduler {
   /// metrics. Blocks until every trial has run; rethrows the lowest-index
   /// trial error, if any. Re-entrant calls (a trial that itself schedules a
   /// campaign) run serially inline instead of deadlocking the pool.
-  void run(std::size_t n, const TrialFn& fn) const;
+  void run(std::size_t n, const TrialFn& fn) const { run_range(0, n, fn); }
+
+  /// Run the shard [begin, end) of a campaign. Trial indices and seeds are
+  /// GLOBAL — trial i gets trial_seed(campaign_seed, i) exactly as it would
+  /// inside run(n) — so a fleet worker executing [40, 60) produces the same
+  /// rows the single-process campaign produces for those indices.
+  void run_range(std::size_t begin, std::size_t end, const TrialFn& fn) const;
 
  private:
   Config cfg_;

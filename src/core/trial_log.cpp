@@ -1,0 +1,112 @@
+#include "core/trial_log.hpp"
+
+#include <cstdio>
+
+#include "obs/registry.hpp"
+#include "util/common.hpp"
+#include "util/crc32.hpp"
+
+namespace ckptfi::core {
+
+std::uint32_t campaign_fingerprint(const std::string& canonical) {
+  return crc32(canonical.data(), canonical.size());
+}
+
+std::string fingerprint_hex(std::uint32_t fp) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", fp);
+  return buf;
+}
+
+void stamp_fingerprint(Json& row, const std::string& fp_hex) {
+  if (fp_hex.empty() || !row.is_object() || row.contains("fp")) return;
+  row["fp"] = fp_hex;
+}
+
+void TrialLogReader::load(const std::string& path,
+                          const std::string& expected_fp_hex) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read trial log '" + path + "'");
+  std::string line;
+  std::size_t line_no = 0;
+  bool warned_unfingerprinted = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Json row;
+    try {
+      row = Json::parse(line);
+    } catch (const FormatError&) {
+      // A campaign killed mid-write leaves exactly one torn line at the end
+      // of the artifact; anything else malformed gets the same treatment.
+      // Resume exists for crashed campaigns, so this must never be fatal.
+      ++malformed_lines_;
+      obs::counter_add("campaign.resume_malformed_lines");
+      std::fprintf(stderr,
+                   "resume: skipping malformed line %zu of '%s' (torn by a "
+                   "mid-write crash?)\n",
+                   line_no, path.c_str());
+      continue;
+    }
+    if (!row.is_object() || !row.contains("cell") || !row.contains("trial"))
+      continue;  // not a trial row (tolerate foreign lines)
+    if (!expected_fp_hex.empty()) {
+      if (row.contains("fp")) {
+        const std::string& fp = row.at("fp").as_string();
+        if (fp != expected_fp_hex) {
+          throw FormatError(
+              "resume: '" + path + "' line " + std::to_string(line_no) +
+              " is from a different campaign (fingerprint " + fp +
+              ", this campaign is " + expected_fp_hex +
+              "): refusing to merge rows across campaigns — check --seed "
+              "and the scale/config flags");
+        }
+      } else if (!warned_unfingerprinted) {
+        warned_unfingerprinted = true;
+        std::fprintf(stderr,
+                     "resume: '%s' carries no campaign fingerprints "
+                     "(pre-fingerprint artifact); cannot verify it matches "
+                     "this campaign\n",
+                     path.c_str());
+      }
+    }
+    const auto key =
+        std::make_pair(row.at("cell").as_string(),
+                       static_cast<std::size_t>(row.at("trial").as_int()));
+    rows_[key] = Row{line, std::move(row)};
+  }
+}
+
+const TrialLogReader::Row* TrialLogReader::find(const std::string& cell,
+                                                std::size_t trial) const {
+  const auto hit = rows_.find({cell, trial});
+  return hit == rows_.end() ? nullptr : &hit->second;
+}
+
+void TrialLogWriter::open(const std::string& path) {
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  out_.open(tmp_path_, std::ios::trunc);
+  if (!out_) throw Error("cannot write trial log temp '" + tmp_path_ + "'");
+  open_ = true;
+}
+
+void TrialLogWriter::write_line(const std::string& line) {
+  out_ << line << "\n";
+}
+
+void TrialLogWriter::flush() { out_.flush(); }
+
+void TrialLogWriter::commit() {
+  if (!open_) throw Error("trial log commit without open");
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  open_ = false;
+  if (!ok) throw Error("I/O error writing trial log '" + tmp_path_ + "'");
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    throw Error("cannot rename '" + tmp_path_ + "' onto '" + path_ + "'");
+  }
+}
+
+}  // namespace ckptfi::core

@@ -1,0 +1,72 @@
+// Length-prefixed message framing for the fleet wire protocol.
+//
+// Every message on a fleet connection is one frame:
+//
+//   u32  length   little-endian, = 1 (type byte) + payload size
+//   u8   type     MsgType below
+//   ...  payload  UTF-8 JSON text (possibly empty)
+//
+// Five message types carry the whole protocol (docs/FLEET.md):
+//
+//   HELLO      worker -> fleetd   {"version": 1}
+//   LEASE      fleetd -> worker   {"lease", "cell", "begin", "end",
+//                                  "manifest"} — or {"lease": -1} meaning
+//                                  "drained, disconnect"
+//   ROWS       worker -> fleetd   {"lease", "cell",
+//                                  "rows": [{"trial", "line"}, ...]}
+//   DONE       worker -> fleetd   {"lease"}
+//   HEARTBEAT  worker -> fleetd   {"lease", "done"} — refreshes the lease
+//                                  deadline while a long trial runs
+//
+// Row payloads carry the *serialized* JSONL line, not a re-encoded object:
+// the coordinator writes worker lines into the merged artifact verbatim, so
+// the fleet's --trials-out is byte-identical to a single-process run by
+// construction rather than by double-serialization luck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace ckptfi::net {
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,
+  Lease = 2,
+  Rows = 3,
+  Done = 4,
+  Heartbeat = 5,
+};
+
+/// Human-readable type name (diagnostics and error messages).
+const char* msg_type_name(MsgType t);
+
+struct Message {
+  MsgType type = MsgType::Hello;
+  std::string payload;  ///< JSON text
+
+  /// Parse the payload; throws FormatError on malformed JSON.
+  Json json() const { return Json::parse(payload); }
+};
+
+/// Frames larger than this are a protocol violation (a corrupted length
+/// prefix would otherwise ask for a multi-GB allocation).
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+/// Wire protocol version spoken by this build; HELLO carries it and the
+/// coordinator refuses mismatches.
+constexpr int kProtocolVersion = 1;
+
+void send_message(Socket& s, MsgType type, const std::string& payload);
+inline void send_message(Socket& s, MsgType type, const Json& payload) {
+  send_message(s, type, payload.dump());
+}
+
+/// Read one frame. Returns false on clean EOF before the frame starts
+/// (orderly disconnect); throws NetError on torn frames, unknown types or
+/// oversized lengths.
+bool recv_message(Socket& s, Message& out);
+
+}  // namespace ckptfi::net

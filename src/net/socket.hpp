@@ -1,0 +1,88 @@
+// Dependency-free POSIX TCP primitives for the campaign fleet.
+//
+// The fleet protocol (docs/FLEET.md) runs over plain loopback/LAN TCP:
+// `ckptfi-fleetd` listens, `ckptfi-worker` connects, and both sides exchange
+// length-prefixed frames (net/frame.hpp). These wrappers add exactly what
+// the coordinator and worker need and nothing more: RAII file descriptors,
+// exact-length send/recv (a short read of a frame is always an error or a
+// dead peer), an optional receive deadline so a stalled peer cannot wedge
+// the coordinator, and an ephemeral-port listener for loopback tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ckptfi::net {
+
+/// Socket-layer failure: connect/bind refusal, peer reset, short frame,
+/// receive deadline expiry. The coordinator treats any NetError on a worker
+/// connection as that worker's death (its lease gets re-issued).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII over a connected stream-socket descriptor. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write exactly `n` bytes (retrying short writes / EINTR). Throws
+  /// NetError when the peer is gone. SIGPIPE is suppressed per-call, so a
+  /// worker dying mid-campaign surfaces as an exception, not a signal.
+  void send_all(const void* data, std::size_t n);
+
+  /// Read exactly `n` bytes. Returns false on clean EOF before the first
+  /// byte (the peer closed at a frame boundary); throws NetError on EOF
+  /// mid-buffer, any error, or deadline expiry (set_recv_timeout).
+  bool recv_all(void* out, std::size_t n);
+
+  /// Receive deadline in seconds (0 disables). Applied per recv() call: a
+  /// peer that goes silent mid-frame for longer than this is declared dead.
+  void set_recv_timeout(double seconds);
+
+  /// Connect to `host:port` (numeric IPv4, or "localhost"). Throws NetError.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the fleet is a trusted-host
+/// service; nothing binds a public interface). Port 0 picks an ephemeral
+/// port — read it back with port() — which is what the loopback tests use.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection (blocking; pair with poll() on fd()).
+  Socket accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ckptfi::net

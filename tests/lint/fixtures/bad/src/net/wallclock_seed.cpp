@@ -1,0 +1,14 @@
+// Bad: the fleet transport is a deterministic module — wall-clock entropy
+// here would make lease bookkeeping (and anything derived from it) differ
+// between a shard's first run and its re-issue after a worker death.
+#include <chrono>
+#include <cstdint>
+
+namespace ckptfi::net {
+
+std::uint64_t nonce() {
+  return static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace ckptfi::net

@@ -1,0 +1,14 @@
+// Ok twin: lease deadlines use the monotonic clock — timing decides WHEN a
+// shard is re-issued, never WHAT its rows contain, and steady_clock is not
+// an entropy source.
+#include <chrono>
+
+namespace ckptfi::fleet {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point lease_deadline(std::chrono::seconds timeout) {
+  return Clock::now() + timeout;
+}
+
+}  // namespace ckptfi::fleet

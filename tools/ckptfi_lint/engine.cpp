@@ -43,7 +43,7 @@ std::size_t Report::suppressed() const {
 Report run(const Options& opt) {
   Report report;
   std::vector<std::string> paths = opt.paths;
-  if (paths.empty()) paths = {"src", "bench", "examples", "tests"};
+  if (paths.empty()) paths = {"src", "bench", "examples", "tests", "tools"};
 
   std::vector<std::pair<std::string, fs::path>> files;  // (rel, absolute)
   const fs::path root = fs::path(opt.root);

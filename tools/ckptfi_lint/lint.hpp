@@ -54,7 +54,7 @@ struct SuppressionRecord {
 
 struct Options {
   std::string root = ".";           ///< paths below resolve relative to this
-  std::vector<std::string> paths;   ///< default: src bench examples tests
+  std::vector<std::string> paths;   ///< default: src bench examples tests tools
   /// Skip tests/lint/fixtures (intentional violations used by the rule
   /// self-tests). The fixture tests disable this and point root at the
   /// fixture trees instead.

@@ -3,7 +3,8 @@
 //   ckptfi_lint [--root=DIR] [--json=PATH] [--no-default-excludes]
 //               [--list-rules] [paths...]
 //
-// Paths default to `src bench examples tests`, resolved against --root
+// Paths default to `src bench examples tests tools`, resolved against
+// --root
 // (default: the current directory). Exit status: 0 when every finding is
 // suppressed with a written reason, 1 when unsuppressed findings remain,
 // 2 on usage errors.

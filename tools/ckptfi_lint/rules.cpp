@@ -4,9 +4,14 @@
 // Which rules apply to a file depends on where it lives:
 //   - determinism rules: the deterministic modules
 //     src/{tensor,nn,core,hdf5,solver,data,models} — the code whose outputs
-//     EXPERIMENTS.md numbers are built from. src/util is exempt (it hosts
-//     the seeded RNG itself) and src/obs is exempt (diagnostics may read
-//     wall clocks).
+//     EXPERIMENTS.md numbers are built from — plus the fleet's transport and
+//     processes (src/net, tools/ckptfi_fleetd, tools/ckptfi_worker): the
+//     fleet's whole value is that sharded rows are byte-identical to a
+//     single-process run, so entropy there is as load-bearing as in a
+//     kernel. (steady_clock is fine — lease deadlines are wall-clock-free
+//     reporting, not row content; system_clock and friends are not.)
+//     src/util is exempt (it hosts the seeded RNG itself) and src/obs is
+//     exempt (diagnostics may read wall clocks).
 //   - concurrency rules: everywhere.
 //   - arena rules: the kernel hot-path files src/tensor/{ops,ops_naive,
 //     kernels}.cpp, whose scratch must come from the Workspace arena.
@@ -38,7 +43,9 @@ std::string_view basename_of(std::string_view path) {
 
 bool in_deterministic_module(std::string_view path) {
   for (const char* m : {"src/tensor/", "src/nn/", "src/core/", "src/hdf5/",
-                        "src/solver/", "src/data/", "src/models/"}) {
+                        "src/solver/", "src/data/", "src/models/",
+                        "src/net/", "tools/ckptfi_fleetd/",
+                        "tools/ckptfi_worker/"}) {
     if (starts_with(path, m)) return true;
   }
   return false;

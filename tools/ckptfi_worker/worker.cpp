@@ -1,0 +1,180 @@
+#include "worker.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/campaign.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "util/common.hpp"
+
+namespace ckptfi::fleet {
+
+namespace {
+
+// Lease-refresh side channel. Shares the socket's send mutex with the row
+// stream; joined before the socket dies.
+class Heartbeat {
+ public:
+  Heartbeat(net::Socket& sock, std::mutex& send_mu, double period_s)
+      : sock_(sock), send_mu_(send_mu), period_s_(period_s) {
+    if (period_s_ <= 0.0) return;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Heartbeat() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void set_lease(int lease, std::size_t done) {
+    lease_.store(lease, std::memory_order_relaxed);
+    done_.store(done, std::memory_order_relaxed);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::duration<double>(period_s_),
+                         [this] { return stop_; })) {
+      const int lease = lease_.load(std::memory_order_relaxed);
+      if (lease < 0) continue;  // parked: nothing to keep alive
+      Json j = Json::object();
+      j["lease"] = lease;
+      j["done"] = done_.load(std::memory_order_relaxed);
+      try {
+        std::lock_guard send_lock(send_mu_);
+        net::send_message(sock_, net::MsgType::Heartbeat, j);
+      } catch (const net::NetError&) {
+        // The main loop will see the same dead socket; go quiet.
+        return;
+      }
+    }
+  }
+
+  net::Socket& sock_;
+  std::mutex& send_mu_;
+  double period_s_;
+  std::atomic<int> lease_{-1};
+  std::atomic<std::size_t> done_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  try {
+    net::Socket sock = net::Socket::connect(opts.host, opts.port);
+    sock.set_recv_timeout(opts.idle_timeout_s);
+
+    Json hello = Json::object();
+    hello["version"] = net::kProtocolVersion;
+    net::send_message(sock, net::MsgType::Hello, hello);
+    net::Message ack;
+    if (!net::recv_message(sock, ack) || ack.type != net::MsgType::Hello) {
+      std::fprintf(stderr, "worker: coordinator refused the handshake\n");
+      return 1;
+    }
+    if (ack.json().at("version").as_int() != net::kProtocolVersion) {
+      std::fprintf(stderr, "worker: protocol version mismatch\n");
+      return 1;
+    }
+
+    std::mutex send_mu;
+    Heartbeat heartbeat(sock, send_mu, opts.heartbeat_s);
+
+    std::unique_ptr<core::Campaign> campaign;
+    std::size_t rows_streamed = 0;
+
+    for (;;) {
+      net::Message msg;
+      if (!net::recv_message(sock, msg)) {
+        std::fprintf(stderr, "worker: coordinator hung up\n");
+        return 1;
+      }
+      if (msg.type != net::MsgType::Lease) {
+        std::fprintf(stderr, "worker: expected LEASE, got %s\n",
+                     net::msg_type_name(msg.type));
+        return 1;
+      }
+      const Json j = msg.json();
+      const auto lease = static_cast<int>(j.at("lease").as_int());
+      if (lease < 0) return 0;  // drained: orderly dismissal
+
+      if (campaign == nullptr) {
+        campaign = core::campaign_from_manifest(j.at("manifest"));
+      } else {
+        // Every lease must belong to the campaign we already built; a
+        // coordinator restarted onto a different campaign is a hard error.
+        const std::string fp = j.at("manifest").at("fp").as_string();
+        if (fp != campaign->options().fingerprint_hex()) {
+          std::fprintf(stderr,
+                       "worker: lease carries campaign %s but this worker "
+                       "built %s; refusing to mix campaigns\n",
+                       fp.c_str(),
+                       campaign->options().fingerprint_hex().c_str());
+          return 1;
+        }
+      }
+
+      const std::string cell = j.at("cell").as_string();
+      const auto begin = static_cast<std::size_t>(j.at("begin").as_int());
+      const auto end = static_cast<std::size_t>(j.at("end").as_int());
+      heartbeat.set_lease(lease, 0);
+
+      // Baseline training for the cell happens before the shard fans out —
+      // the same prepare-then-run shape the single-process benches use, so
+      // the heartbeat thread is what keeps the lease alive through it.
+      campaign->prepare_cell(cell);
+
+      core::TrialScheduler::Config sc;
+      sc.jobs = opts.jobs;
+      sc.campaign_seed = campaign->cell_seed(cell);
+      core::TrialScheduler(sc).run_range(
+          begin, end, [&](const core::TrialContext& trial) {
+            const Json row = campaign->run_trial(cell, trial);
+            Json rj = Json::object();
+            rj["lease"] = lease;
+            rj["cell"] = cell;
+            Json rows = Json::array();
+            Json one = Json::object();
+            one["trial"] = trial.index;
+            one["line"] = row.dump();
+            rows.push_back(std::move(one));
+            rj["rows"] = std::move(rows);
+            std::lock_guard lock(send_mu);
+            net::send_message(sock, net::MsgType::Rows, rj);
+            ++rows_streamed;
+            heartbeat.set_lease(lease, rows_streamed);
+            if (rows_streamed >= opts.kill_after_rows) {
+              // Deterministic node-loss fixture: die the hard way, exactly
+              // like a kernel OOM-kill or a pulled power cord would.
+              std::raise(SIGKILL);
+            }
+          });
+
+      heartbeat.set_lease(-1, rows_streamed);
+      Json done = Json::object();
+      done["lease"] = lease;
+      std::lock_guard lock(send_mu);
+      net::send_message(sock, net::MsgType::Done, done);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ckptfi::fleet
