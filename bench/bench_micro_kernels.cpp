@@ -1,13 +1,18 @@
-// Microbenchmarks of the compute kernels, naive vs fast backend.
+// Microbenchmarks of the compute kernels across the three backend tiers.
 //
-// Every benchmark comes in a pair pinning one side of the backend split
-// via set_kernel_backend (see docs/KERNELS.md): the reference direct-loop
-// kernels against the blocked/arena GEMM and im2col+GEMM convolution, both
-// measured through the dispatched entry points exactly as CKPTFI_KERNELS
-// selects them. Shapes cover the sizes the paper's models actually run
-// — LeNet/AlexNet-scale conv blocks and classifier GEMMs — plus tiny
-// shapes, where the dispatcher's flop threshold routes fast straight back
-// to naive and the pair should tie.
+// Every benchmark comes in a tier set pinning one backend via
+// set_kernel_backend (see docs/KERNELS.md): the reference direct-loop
+// kernels, the blocked/arena fast GEMM and im2col+GEMM convolution, and the
+// explicitly vectorized simd microkernels — all measured through the
+// dispatched entry points exactly as CKPTFI_KERNELS selects them. Shapes
+// cover the sizes the paper's models actually run — LeNet/AlexNet-scale
+// conv blocks and classifier GEMMs — plus tiny shapes, where the fast
+// dispatcher's flop threshold routes straight back to naive and that pair
+// should tie. A rectangular GEMM sweep (MLP / LeNet / ResNet-ish
+// conv-as-GEMM panels) times all three tiers on the shapes behind the
+// EXPERIMENTS.md simd-speedup table, and an fp16 phase times the
+// mixed-precision GEMM path (fp16 storage panels, fp32 accumulate) against
+// the fp64 tiers on the same shapes.
 //
 // Each benchmark also reports the kernel obs instrumentation it moved
 // (kernels.gemm_time / kernels.im2col_time histograms, arena gauges) from
@@ -89,6 +94,80 @@ void BM_GemmFast(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmFast)->Arg(8)->Arg(64)->Arg(256);
 
+void BM_GemmSimd(benchmark::State& state) {
+  gemm_bench<KernelBackend::kSimd>(state);
+}
+BENCHMARK(BM_GemmSimd)->Arg(8)->Arg(64)->Arg(256);
+
+// --------------------------------------------------------------------------
+// Rectangular GEMM sweep over the shapes the repro's models actually hit,
+// one benchmark per tier per shape — the EXPERIMENTS.md simd-speedup table:
+//   Arg 0: mlp    — [16,256]x[256,256], a Dense layer at bench width
+//   Arg 1: lenet  — [16,400]x[400,120], LeNet's fc1 classifier GEMM
+//   Arg 2: resnet — [64,576]x[576,196], a 3x3x64 conv block as W x col
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+GemmShape gemm_shape(std::int64_t idx) {
+  static const GemmShape shapes[] = {
+      {16, 256, 256}, {16, 400, 120}, {64, 576, 196}};
+  return shapes[idx];
+}
+
+template <KernelBackend Backend>
+void gemm_sweep_bench(benchmark::State& state) {
+  set_kernel_backend(Backend);
+  const GemmShape s = gemm_shape(state.range(0));
+  Rng rng(7);
+  const Tensor a = random_tensor({s.m, s.k}, rng);
+  const Tensor b = random_tensor({s.k, s.n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * s.m * s.k * s.n));
+}
+
+void BM_GemmSweepNaive(benchmark::State& state) {
+  gemm_sweep_bench<KernelBackend::kNaive>(state);
+}
+BENCHMARK(BM_GemmSweepNaive)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmSweepFast(benchmark::State& state) {
+  gemm_sweep_bench<KernelBackend::kFast>(state);
+}
+BENCHMARK(BM_GemmSweepFast)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmSweepSimd(benchmark::State& state) {
+  gemm_sweep_bench<KernelBackend::kSimd>(state);
+}
+BENCHMARK(BM_GemmSweepSimd)->Arg(0)->Arg(1)->Arg(2);
+
+// The mixed-precision GEMM path on the same sweep shapes: fp16 storage
+// panels, fp32 FMA accumulate (MPGemmFI's shape), dispatched in front of
+// the default backend exactly as CKPTFI_GEMM_PRECISION=fp16 would.
+void BM_GemmSweepFp16(benchmark::State& state) {
+  set_kernel_backend(KernelBackend::kSimd);
+  set_gemm_precision(GemmPrecision::kFp16);
+  const GemmShape s = gemm_shape(state.range(0));
+  Rng rng(7);
+  const Tensor a = random_tensor({s.m, s.k}, rng);
+  const Tensor b = random_tensor({s.k, s.n}, rng);
+  Tensor c;
+  for (auto _ : state) {
+    matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * s.m * s.k * s.n));
+  set_gemm_precision(GemmPrecision::kFp64);
+}
+BENCHMARK(BM_GemmSweepFp16)->Arg(0)->Arg(1)->Arg(2);
+
 // --------------------------------------------------------------------------
 // Convolution forward/backward at three scales:
 //   Arg 0: tiny   — 1x2x6x6,  co=2, below the fast flop threshold
@@ -144,6 +223,11 @@ void BM_ConvForwardFast(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvForwardFast)->Arg(0)->Arg(1)->Arg(2);
 
+void BM_ConvForwardSimd(benchmark::State& state) {
+  conv_forward_bench<KernelBackend::kSimd>(state);
+}
+BENCHMARK(BM_ConvForwardSimd)->Arg(0)->Arg(1)->Arg(2);
+
 template <KernelBackend Backend>
 void conv_backward_bench(benchmark::State& state) {
   set_kernel_backend(Backend);
@@ -174,6 +258,11 @@ void BM_ConvBackwardFast(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvBackwardFast)->Arg(0)->Arg(1)->Arg(2);
 
+void BM_ConvBackwardSimd(benchmark::State& state) {
+  conv_backward_bench<KernelBackend::kSimd>(state);
+}
+BENCHMARK(BM_ConvBackwardSimd)->Arg(0)->Arg(1)->Arg(2);
+
 // --------------------------------------------------------------------------
 // The transposed GEMMs the backward pass leans on, at classifier-layer size.
 
@@ -203,6 +292,19 @@ void BM_GemmAtFast(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmAtFast);
 
+void BM_GemmAtSimd(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor a = random_tensor({256, 128}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kSimd);
+  for (auto _ : state) {
+    matmul_at(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmAtSimd);
+
 void BM_GemmBtNaive(benchmark::State& state) {
   Rng rng(5);
   const Tensor a = random_tensor({128, 64}, rng);
@@ -228,6 +330,19 @@ void BM_GemmBtFast(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemmBtFast);
+
+void BM_GemmBtSimd(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor a = random_tensor({128, 64}, rng);
+  const Tensor b = random_tensor({256, 64}, rng);
+  Tensor c;
+  set_kernel_backend(KernelBackend::kSimd);
+  for (auto _ : state) {
+    matmul_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBtSimd);
 
 // --------------------------------------------------------------------------
 // Probe overhead: one training step (forward + backward) of an MLP with and

@@ -6,6 +6,12 @@
 // core::TrialScheduler (--jobs N); per-trial seeds come from
 // trial_seed(campaign, index), making --jobs 8 bitwise-identical to
 // --jobs 1 (verify with --trials-out and diff).
+//
+// --compute-precision=fp64|fp16 selects the GEMM compute path the resumed
+// trainings run under (default fp64). fp16 replays the table with the GEMM
+// family computing through genuine binary16 storage panels (fp32
+// accumulate, docs/KERNELS.md) — the native-compute counterpart to the
+// checkpoint-precision axis the table already sweeps.
 #include "bench/common.hpp"
 #include "core/corrupter.hpp"
 #include "util/strings.hpp"
@@ -14,11 +20,28 @@ using namespace ckptfi;
 using bench::BenchOptions;
 
 int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  std::string compute_precision = "fp64";
+  const BenchOptions opt = BenchOptions::parse(
+      argc, argv, BenchOptions{},
+      {{"compute-precision", &compute_precision}});
+  if (compute_precision == "fp16") {
+    set_gemm_precision(GemmPrecision::kFp16);
+  } else if (compute_precision != "fp64") {
+    std::fprintf(stderr,
+                 "bench_table7: --compute-precision must be fp64 or fp16 "
+                 "(got '%s')\n",
+                 compute_precision.c_str());
+    return 2;
+  }
   bench::print_banner(
-      "Table VII: N-EV incidence at 16/32-bit precision (chainer)", opt);
-  bench::TrialRows trials_out(opt.trials_out, "",
-                              bench::bench_fingerprint(opt, "table7"));
+      "Table VII: N-EV incidence at 16/32-bit precision (chainer, " +
+          std::string(gemm_precision_name()) + " compute)",
+      opt);
+  // The compute precision rides in the fingerprint's mode slot so fp64 and
+  // fp16 runs never cross-resume from each other's trial rows.
+  bench::TrialRows trials_out(
+      opt.trials_out, "",
+      bench::bench_fingerprint(opt, "table7", gemm_precision_name()));
 
   const std::vector<std::uint64_t> rates = {1, 10, 100, 1000};
   core::TextTable table(

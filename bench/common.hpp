@@ -455,6 +455,8 @@ inline void emit_run_start(const std::string& what, const BenchOptions& o) {
   Json f = Json::object();
   f["bench"] = what;
   f["kernels.backend"] = kernel_backend_name();
+  f["kernels.simd_isa"] = simd_isa_name();
+  f["kernels.gemm_precision"] = gemm_precision_name();
   f["jobs"] = o.jobs;
   f["seed"] = std::to_string(o.seed);
   obs::emit_event("run_start", std::move(f));

@@ -61,6 +61,8 @@ inline int run_main(int argc, char** argv, const char* bench_name) {
   Json fields = Json::object();
   fields["bench"] = bench_name;
   fields["kernels.backend"] = kernel_backend_name();
+  fields["kernels.simd_isa"] = simd_isa_name();
+  fields["kernels.gemm_precision"] = gemm_precision_name();
   obs::emit_event("run_start", std::move(fields));
 
   int pargc = static_cast<int>(passthrough.size());

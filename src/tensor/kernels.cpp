@@ -10,18 +10,72 @@ namespace ckptfi {
 
 namespace {
 
+/// What the CPU can actually execute, independent of CKPTFI_SIMD. Used to
+/// validate set_simd_isa() requests.
+SimdIsa hardware_isa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+#elif defined(__aarch64__)
+  return SimdIsa::kNeon;  // Advanced SIMD is baseline on aarch64
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+bool simd_disabled_by_env() {
+  const char* env = std::getenv("CKPTFI_SIMD");
+  if (env == nullptr || *env == '\0') return false;
+  const std::string v(env);
+  if (v == "on" || v == "1" || v == "true") return false;
+  if (v == "off" || v == "0" || v == "false") return true;
+  throw InvalidArgument("CKPTFI_SIMD must be on|off (or 1|0, true|false), got \"" +
+                        v + "\"");
+}
+
+std::atomic<SimdIsa>& isa_slot() {
+  static std::atomic<SimdIsa> slot{simd_disabled_by_env() ? SimdIsa::kScalar
+                                                          : hardware_isa()};
+  return slot;
+}
+
 KernelBackend backend_from_env() {
   const char* env = std::getenv("CKPTFI_KERNELS");
-  if (env == nullptr || *env == '\0') return KernelBackend::kFast;
+  if (env == nullptr || *env == '\0') {
+    // Default to the simd tier only when a vector ISA is live; on scalar-only
+    // hosts (or under CKPTFI_SIMD=off) fast remains the default — the scalar
+    // simd fallback is a correctness-parity path, not a perf tier.
+    return isa_slot().load(std::memory_order_relaxed) == SimdIsa::kScalar
+               ? KernelBackend::kFast
+               : KernelBackend::kSimd;
+  }
   const std::string v(env);
   if (v == "fast") return KernelBackend::kFast;
   if (v == "naive") return KernelBackend::kNaive;
-  throw InvalidArgument("CKPTFI_KERNELS must be \"naive\" or \"fast\", got \"" +
-                        v + "\"");
+  if (v == "simd") return KernelBackend::kSimd;
+  throw InvalidArgument(
+      "CKPTFI_KERNELS must be \"naive\", \"fast\" or \"simd\", got \"" + v +
+      "\"");
 }
 
 std::atomic<KernelBackend>& backend_slot() {
   static std::atomic<KernelBackend> slot{backend_from_env()};
+  return slot;
+}
+
+GemmPrecision precision_from_env() {
+  const char* env = std::getenv("CKPTFI_GEMM_PRECISION");
+  if (env == nullptr || *env == '\0') return GemmPrecision::kFp64;
+  const std::string v(env);
+  if (v == "fp64") return GemmPrecision::kFp64;
+  if (v == "fp16") return GemmPrecision::kFp16;
+  throw InvalidArgument(
+      "CKPTFI_GEMM_PRECISION must be \"fp64\" or \"fp16\", got \"" + v + "\"");
+}
+
+std::atomic<GemmPrecision>& precision_slot() {
+  static std::atomic<GemmPrecision> slot{precision_from_env()};
   return slot;
 }
 
@@ -36,7 +90,48 @@ void set_kernel_backend(KernelBackend backend) {
 }
 
 const char* kernel_backend_name() {
-  return kernel_backend() == KernelBackend::kFast ? "fast" : "naive";
+  switch (kernel_backend()) {
+    case KernelBackend::kNaive:
+      return "naive";
+    case KernelBackend::kSimd:
+      return "simd";
+    case KernelBackend::kFast:
+      break;
+  }
+  return "fast";
+}
+
+SimdIsa simd_isa() { return isa_slot().load(std::memory_order_relaxed); }
+
+void set_simd_isa(SimdIsa isa) {
+  if (isa != SimdIsa::kScalar && isa != hardware_isa())
+    throw InvalidArgument(
+        "set_simd_isa: requested vector ISA is not available on this host");
+  isa_slot().store(isa, std::memory_order_relaxed);
+}
+
+const char* simd_isa_name() {
+  switch (simd_isa()) {
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+    case SimdIsa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+GemmPrecision gemm_precision() {
+  return precision_slot().load(std::memory_order_relaxed);
+}
+
+void set_gemm_precision(GemmPrecision p) {
+  precision_slot().store(p, std::memory_order_relaxed);
+}
+
+const char* gemm_precision_name() {
+  return gemm_precision() == GemmPrecision::kFp16 ? "fp16" : "fp64";
 }
 
 }  // namespace ckptfi

@@ -1,28 +1,42 @@
-// Kernel backend selection: reference (naive) vs optimised (fast) compute.
+// Kernel backend selection: reference (naive), optimised (fast), and
+// vectorized (simd) compute.
 //
-// The tensor layer ships two implementations of its hot kernels (GEMM and
+// The tensor layer ships three implementations of its hot kernels (GEMM and
 // 2-d convolution, see ops.hpp):
 //
 //   - `naive`  — the original direct-loop kernels, kept verbatim as the
 //     reference backend (ops_naive.cpp);
 //   - `fast`   — cache-blocked GEMM with panel packing and im2col/col2im
 //     convolution, parallelised over the global ThreadPool and backed by the
-//     per-thread Workspace arena (ops.cpp).
+//     per-thread Workspace arena (ops.cpp); bitwise-identical to naive on
+//     the GEMM family;
+//   - `simd`   — explicitly vectorized FMA microkernels (AVX2+FMA on x86-64,
+//     NEON on aarch64) behind runtime CPU-feature dispatch, with a portable
+//     fixed-width-lane scalar fallback that computes the *identical*
+//     reduction order (ops_simd.cpp). The lane-blocked order is its own
+//     documented deterministic contract — simd ≡ simd across ISAs bitwise,
+//     simd vs naive/fast to ulp-level tolerance (docs/KERNELS.md).
 //
 // The backend is chosen once per process from the CKPTFI_KERNELS environment
-// variable ("naive" or "fast"; unset means fast) and cached; tests and
-// benches can override it at runtime with set_kernel_backend(). Both
+// variable ("naive", "fast" or "simd"; unset means simd when a vector ISA is
+// available, fast otherwise) and cached; tests and benches can override it at
+// runtime with set_kernel_backend(). CKPTFI_SIMD=off forces the simd tier
+// onto its scalar fallback (and the default backend down to fast). All
 // backends honour the same determinism contract — results are a pure
-// function of inputs and CKPTFI_THREADS, never of scheduling — and the fast
-// GEMM family is bitwise-identical to naive (see docs/KERNELS.md for the
-// exact equivalence guarantees per kernel).
+// function of inputs and CKPTFI_THREADS, never of scheduling.
+//
+// Orthogonally, CKPTFI_GEMM_PRECISION selects the GEMM compute precision:
+// "fp64" (default) runs the selected backend in double, "fp16" routes the
+// GEMM family through the mixed-precision path (fp16 storage panels, fp32
+// accumulate — the MPGemmFI shape; ops_simd.cpp) regardless of backend.
 #pragma once
 
 namespace ckptfi {
 
 enum class KernelBackend {
   kNaive,  ///< reference direct-loop kernels
-  kFast,   ///< blocked GEMM + im2col convolution (default)
+  kFast,   ///< blocked GEMM + im2col convolution
+  kSimd,   ///< vectorized lane-blocked microkernels (default where supported)
 };
 
 /// Active backend: cached CKPTFI_KERNELS on first call, or the last
@@ -33,7 +47,48 @@ KernelBackend kernel_backend();
 /// against concurrent kernel calls — flip it between runs, not during one.
 void set_kernel_backend(KernelBackend backend);
 
-/// "naive" or "fast" — stamped on run-start obs events and bench banners.
+/// "naive", "fast" or "simd" — stamped on run-start obs events and bench
+/// banners.
 const char* kernel_backend_name();
+
+/// Instruction set the simd tier executes with. kScalar is the portable
+/// fallback — same lane structure, same reduction order, bitwise-identical
+/// results to the vector paths.
+enum class SimdIsa {
+  kScalar,  ///< portable fixed-lane fallback (std::fma)
+  kAvx2,    ///< x86-64 AVX2 + FMA3
+  kNeon,    ///< aarch64 Advanced SIMD
+};
+
+/// Active ISA for the simd tier: detected from the CPU on first call
+/// (CKPTFI_SIMD=off|0|false forces kScalar), or the last set_simd_isa()
+/// override.
+SimdIsa simd_isa();
+
+/// Override the ISA (tests pin kScalar to check scalar ≡ vector bitwise).
+/// Requesting a vector ISA the host CPU lacks throws InvalidArgument;
+/// kScalar is always accepted.
+void set_simd_isa(SimdIsa isa);
+
+/// "scalar", "avx2" or "neon" — stamped on run-start obs events.
+const char* simd_isa_name();
+
+/// GEMM compute precision. kFp16 is the mixed-precision path: operands are
+/// quantized to IEEE binary16 storage panels (util/float16, identical to
+/// quantize_value(v, 16)) and accumulated in fp32 lanes.
+enum class GemmPrecision {
+  kFp64,  ///< full double compute (default)
+  kFp16,  ///< fp16 storage panels, fp32 accumulate (MPGemmFI shape)
+};
+
+/// Active GEMM precision: cached CKPTFI_GEMM_PRECISION ("fp64"/"fp16", unset
+/// means fp64) on first call, or the last set_gemm_precision() override.
+GemmPrecision gemm_precision();
+
+/// Override the GEMM precision for this process (tests/benches).
+void set_gemm_precision(GemmPrecision p);
+
+/// "fp64" or "fp16" — stamped on run-start obs events.
+const char* gemm_precision_name();
 
 }  // namespace ckptfi

@@ -1,7 +1,9 @@
 // Kernel dispatch plus the fast backend: k-blocked GEMM with arena-packed
 // panels, pool parallelism over row/image chunks, and im2col/col2im
-// convolution. The reference implementations live in ops_naive.cpp; pooling
-// and softmax have a single implementation (they are not hot enough to fork).
+// convolution. The reference implementations live in ops_naive.cpp, the
+// vectorized simd tier and the fp16 mixed-precision path in ops_simd.cpp;
+// pooling and softmax have a single implementation (they are not hot enough
+// to fork).
 //
 // Determinism: every parallel loop partitions independent output rows/images,
 // and every output element is accumulated in a fixed ascending order within
@@ -28,24 +30,10 @@
 
 namespace ckptfi {
 
-namespace {
+// Definitions of the helpers shared across the kernel translation units
+// (declared in ops_detail.hpp; ops_simd.cpp reuses all of them).
+namespace detail {
 
-/// k-dimension block: one B panel (kKc rows of B) stays cache-hot while the
-/// whole row chunk sweeps over it. Blocks are visited in ascending order, so
-/// per-element summation order is unchanged by the blocking.
-constexpr std::size_t kKc = 256;
-
-/// Below this many flops a kernel runs single-threaded: fork/join overhead
-/// would dominate. A pure function of the operand shapes, so the
-/// serial/parallel decision never depends on runtime state.
-constexpr std::size_t kPoolMinFlops = std::size_t{1} << 18;
-
-/// Below this many flops the dispatcher routes to the naive kernels even
-/// under CKPTFI_KERNELS=fast — at trivial sizes the arena/packing setup is
-/// pure overhead. Also a pure function of shape (determinism).
-constexpr std::size_t kFastMinFlops = std::size_t{1} << 12;
-
-/// Run fn over [0, n): pool fan-out for heavy shapes, inline otherwise.
 void run_chunks(std::size_t n, bool parallel,
                 const std::function<void(std::size_t, std::size_t)>& fn) {
   if (parallel) {
@@ -55,42 +43,6 @@ void run_chunks(std::size_t n, bool parallel,
   }
 }
 
-/// Observes `name` (seconds) on destruction; a single relaxed load and no
-/// clock read when metrics are disabled.
-class ScopedHistTimer {
- public:
-  explicit ScopedHistTimer(const char* name) : name_(name) {
-    if (obs::metrics_enabled()) {
-      armed_ = true;
-      start_ = std::chrono::steady_clock::now();
-    }
-  }
-  ~ScopedHistTimer() {
-    if (!armed_) return;
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - start_;
-    obs::histogram_observe(name_, dt.count());
-  }
-  ScopedHistTimer(const ScopedHistTimer&) = delete;
-  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
-
- private:
-  const char* name_;
-  bool armed_ = false;
-  std::chrono::steady_clock::time_point start_;
-};
-
-std::size_t gemm_flops(std::size_t m, std::size_t k, std::size_t n) {
-  return 2 * m * k * n;
-}
-
-std::size_t conv_flops(const detail::ConvDims& d) {
-  return 2 * d.n * d.co * d.ho * d.wo * d.ci * d.kh * d.kw;
-}
-
-/// x image [ci,h,w] -> col [K = ci*kh*kw, P = ho*wo], row r = (ic,ky,kx) in
-/// ascending order (matching the naive accumulation order), padding as
-/// explicit zeros.
 void im2col(const double* xi, const detail::ConvDims& d, const ConvSpec& spec,
             double* col) {
   double* out = col;
@@ -121,8 +73,6 @@ void im2col(const double* xi, const detail::ConvDims& d, const ConvSpec& spec,
   }
 }
 
-/// Scatter-accumulate col [K,P] back into one pre-zeroed dx image, visiting
-/// rows in the same ascending (ic,ky,kx) order im2col wrote them.
 void col2im(const double* col, const detail::ConvDims& d, const ConvSpec& spec,
             double* dxi) {
   const double* in = col;
@@ -153,7 +103,17 @@ void col2im(const double* col, const detail::ConvDims& d, const ConvSpec& spec,
   }
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::col2im;
+using detail::conv_flops;
+using detail::gemm_flops;
+using detail::im2col;
+using detail::kFastMinFlops;
+using detail::kKc;
+using detail::kPoolMinFlops;
+using detail::run_chunks;
+using detail::ScopedHistTimer;
 
 namespace fast {
 
@@ -498,6 +458,20 @@ void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   ScopedHistTimer t("kernels.gemm_time");
+  if (a.rank() == 2 && b.rank() == 2 &&
+      gemm_precision() == GemmPrecision::kFp16) {
+    fp16::matmul(a, b, c, accumulate);
+    return;
+  }
+  // The simd tier takes every rank-2 shape (no size floor): its lane-blocked
+  // order is the tier's contract, so routing tiny shapes to naive would make
+  // the dispatched summation order shape-dependent. fast keeps the naive
+  // floor — the two are bitwise-equal anyway, so the routing is invisible.
+  if (kernel_backend() == KernelBackend::kSimd && a.rank() == 2 &&
+      b.rank() == 2) {
+    simd::matmul(a, b, c, accumulate);
+    return;
+  }
   const bool use_fast =
       kernel_backend() == KernelBackend::kFast && a.rank() == 2 &&
       b.rank() == 2 && gemm_flops(a.dim(0), a.dim(1), b.dim(1)) >= kFastMinFlops;
@@ -510,6 +484,16 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
 
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& c) {
   ScopedHistTimer t("kernels.gemm_time");
+  if (a.rank() == 2 && b.rank() == 2 &&
+      gemm_precision() == GemmPrecision::kFp16) {
+    fp16::matmul_at(a, b, c);
+    return;
+  }
+  if (kernel_backend() == KernelBackend::kSimd && a.rank() == 2 &&
+      b.rank() == 2) {
+    simd::matmul_at(a, b, c);
+    return;
+  }
   const bool use_fast =
       kernel_backend() == KernelBackend::kFast && a.rank() == 2 &&
       b.rank() == 2 && gemm_flops(a.dim(1), a.dim(0), b.dim(1)) >= kFastMinFlops;
@@ -522,6 +506,16 @@ void matmul_at(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c) {
   ScopedHistTimer t("kernels.gemm_time");
+  if (a.rank() == 2 && b.rank() == 2 &&
+      gemm_precision() == GemmPrecision::kFp16) {
+    fp16::matmul_bt(a, b, c);
+    return;
+  }
+  if (kernel_backend() == KernelBackend::kSimd && a.rank() == 2 &&
+      b.rank() == 2) {
+    simd::matmul_bt(a, b, c);
+    return;
+  }
   const bool use_fast =
       kernel_backend() == KernelBackend::kFast && a.rank() == 2 &&
       b.rank() == 2 &&
@@ -535,6 +529,11 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c) {
 
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     const ConvSpec& spec, Tensor& y) {
+  if (kernel_backend() == KernelBackend::kSimd && x.rank() == 4 &&
+      w.rank() == 4) {
+    simd::conv2d_forward(x, w, b, spec, y);
+    return;
+  }
   const bool use_fast = kernel_backend() == KernelBackend::kFast &&
                         x.rank() == 4 && w.rank() == 4 &&
                         conv_flops(detail::conv_dims(x, w, spec)) >=
@@ -548,6 +547,11 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 
 void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
                      const Tensor& dy, Tensor& dx, Tensor& dw, Tensor& db) {
+  if (kernel_backend() == KernelBackend::kSimd && x.rank() == 4 &&
+      w.rank() == 4) {
+    simd::conv2d_backward(x, w, spec, dy, dx, dw, db);
+    return;
+  }
   const bool use_fast = kernel_backend() == KernelBackend::kFast &&
                         x.rank() == 4 && w.rank() == 4 &&
                         conv_flops(detail::conv_dims(x, w, spec)) >=

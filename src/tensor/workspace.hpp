@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ckptfi {
@@ -36,6 +37,20 @@ class Workspace {
   /// `n` doubles of scratch, valid until the enclosing Scope (or reset()).
   /// Never returns nullptr; n == 0 yields a valid one-past pointer.
   double* alloc(std::size_t n);
+
+  /// `n` floats of scratch carved from the same arena (two per double slot,
+  /// 8-byte aligned). The mixed-precision GEMM path keeps its fp32
+  /// accumulator panels here so the zero-steady-state-allocation contract
+  /// extends to fp16 compute.
+  float* alloc_f32(std::size_t n) {
+    return reinterpret_cast<float*>(alloc((n + 1) / 2));
+  }
+
+  /// `n` uint16 slots (four per double slot) — fp16 storage panels packed
+  /// via util/float16.
+  std::uint16_t* alloc_u16(std::size_t n) {
+    return reinterpret_cast<std::uint16_t*>(alloc((n + 3) / 4));
+  }
 
   /// Rewind to empty and coalesce: the primary buffer is regrown to the
   /// high-water mark so the next cycle runs allocation-free. The trainer

@@ -1,0 +1,14 @@
+// Fixture: det-simd-lane-order — horizontal-reduce intrinsics that fold
+// lanes in ISA-defined order instead of the documented fixed tree fold.
+namespace fixture {
+
+double dot_avx2(__m256d acc0, __m256d acc1) {
+  __m256d pairs = _mm256_hadd_pd(acc0, acc1);
+  return _mm256_cvtsd_f64(pairs);
+}
+
+float dot_neon(float32x4_t acc) { return vaddvq_f32(acc); }
+
+double dot_avx512(__m512d acc) { return _mm512_reduce_add_pd(acc); }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: det-simd-lane-order clean shape — lane accumulators stored out
+// and folded with the documented fixed tree, scratch from the arena.
+namespace fixture {
+
+double dot_fold(const double* lanes) {
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+void store_and_fold(__m256d acc0, __m256d acc1, double* out) {
+  ckptfi::Workspace& ws = ckptfi::Workspace::tls();
+  ckptfi::Workspace::Scope scope(ws);
+  double* lanes = ws.alloc(8);
+  _mm256_storeu_pd(lanes, acc0);
+  _mm256_storeu_pd(lanes + 4, acc1);
+  out[0] = dot_fold(lanes);
+}
+
+}  // namespace fixture

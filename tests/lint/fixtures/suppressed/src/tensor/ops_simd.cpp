@@ -1,0 +1,9 @@
+// Fixture: det-simd-lane-order neutralised by a reasoned allow.
+namespace fixture {
+
+float diagnostic_sum(float32x4_t acc) {
+  // ckptfi-lint: allow(det-simd-lane-order) fixture: debug-only probe, result never reaches a checkpoint
+  return vaddvq_f32(acc);
+}
+
+}  // namespace fixture

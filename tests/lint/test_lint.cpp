@@ -36,7 +36,7 @@ TEST(LintRules, RegistryHasUniqueIdsAndHints) {
     EXPECT_FALSE(r.summary.empty()) << r.id;
     EXPECT_FALSE(r.hint.empty()) << r.id;
   }
-  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(ids.size(), 10u);
 }
 
 TEST(LintFixtures, EveryRuleFiresOnTheBadTree) {
@@ -59,12 +59,12 @@ TEST(LintFixtures, OkTreeIsClean) {
     ADD_FAILURE() << "false positive: " << f.file << ":" << f.line << " ["
                   << f.rule << "] " << f.message;
   }
-  EXPECT_EQ(report.files_scanned, 8u);  // one clean twin per checker family
+  EXPECT_EQ(report.files_scanned, 9u);  // one clean twin per checker family
 }
 
 TEST(LintFixtures, ReasonedSuppressionNeutralisesAndUnusedIsNoted) {
   const Report report = run_tree("suppressed");
-  ASSERT_EQ(report.findings.size(), 3u);
+  ASSERT_EQ(report.findings.size(), 4u);
   std::set<std::string> suppressed_rules;
   for (const Finding& f : report.findings) {
     EXPECT_TRUE(f.suppressed) << f.file << ":" << f.line;
@@ -74,12 +74,13 @@ TEST(LintFixtures, ReasonedSuppressionNeutralisesAndUnusedIsNoted) {
   EXPECT_TRUE(suppressed_rules.count("det-rng-entropy"));
   EXPECT_TRUE(suppressed_rules.count("det-rng-unseeded-mt19937"));
   EXPECT_TRUE(suppressed_rules.count("det-prefix-cache-mutation"));
+  EXPECT_TRUE(suppressed_rules.count("det-simd-lane-order"));
   EXPECT_EQ(report.unsuppressed(), 0u);
 
-  ASSERT_EQ(report.suppressions.size(), 4u);
+  ASSERT_EQ(report.suppressions.size(), 5u);
   std::size_t used = 0;
   for (const SuppressionRecord& s : report.suppressions) used += s.used ? 1 : 0;
-  EXPECT_EQ(used, 3u);  // one directive stays unused, reported as a note
+  EXPECT_EQ(used, 4u);  // one directive stays unused, reported as a note
 }
 
 TEST(LintFixtures, BadTreeSarifMatchesGolden) {
@@ -125,6 +126,15 @@ TEST(LintCheckFile, RulesAreScopedByPath) {
   check_file("src/core/other.cpp", heap, cold);
   EXPECT_EQ(hot.findings.size(), 1u);
   EXPECT_TRUE(cold.findings.empty());
+
+  // Horizontal-reduce intrinsics are likewise only findings in the kernel
+  // hot paths — a diagnostic tool elsewhere may sum lanes however it likes.
+  const std::string hadd = "double f(__m256d a) { return g(_mm256_hadd_pd(a, a)); }\n";
+  Report simd_hot, simd_cold;
+  check_file("src/tensor/ops_simd.cpp", hadd, simd_hot);
+  check_file("src/obs/probe.cpp", hadd, simd_cold);
+  EXPECT_EQ(simd_hot.findings.size(), 1u);
+  EXPECT_TRUE(simd_cold.findings.empty());
 
   // Entropy is only policed in deterministic modules (src/util hosts the
   // RNG itself and may legitimately mention these names).

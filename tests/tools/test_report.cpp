@@ -154,6 +154,43 @@ TEST(PrefixMetrics, ExtractsAndRendersPrefixTelemetry) {
   EXPECT_TRUE(render_prefix_metrics(prefix_metrics(parse("{}"))).empty());
 }
 
+TEST(KernelMetrics, ExtractsTierIsaPrecisionAndTimingHistograms) {
+  const Json snap = parse(R"({
+    "histograms": {
+      "kernels.gemm_time": {"count": 12, "sum": 0.012, "mean": 0.001,
+                            "min": 0.0005, "max": 0.002, "p50": 0.001,
+                            "p90": 0.0015, "p99": 0.002},
+      "kernels.im2col_time": {"count": 4, "mean": 0.0002, "p50": 0.0002,
+                              "p99": 0.0003, "max": 0.0003},
+      "trainer.batch_time": {"count": 9, "mean": 1.0}
+    },
+    "events": [
+      {"ts_ms": 0.1, "type": "run_start", "kernels.backend": "simd",
+       "kernels.simd_isa": "avx2", "kernels.gemm_precision": "fp16"},
+      {"ts_ms": 0.2, "type": "run_start", "kernels.backend": "naive"}
+    ]
+  })");
+  const Json m = kernel_metrics(snap);
+  EXPECT_EQ(m.at("backend").as_string(), "simd");  // first run_start wins
+  EXPECT_EQ(m.at("simd_isa").as_string(), "avx2");
+  EXPECT_EQ(m.at("gemm_precision").as_string(), "fp16");
+  ASSERT_TRUE(m.contains("histograms"));
+  EXPECT_EQ(m.at("histograms").members().size(), 2u);  // trainer.* filtered
+  EXPECT_EQ(m.at("histograms").at("kernels.gemm_time").at("count").as_int(),
+            12);
+
+  const std::string text = render_kernel_metrics(m);
+  EXPECT_NE(text.find("backend: simd"), std::string::npos);
+  EXPECT_NE(text.find("simd isa: avx2"), std::string::npos);
+  EXPECT_NE(text.find("gemm precision: fp16"), std::string::npos);
+  EXPECT_NE(text.find("kernels.gemm_time"), std::string::npos);
+  EXPECT_NE(text.find("1000.0"), std::string::npos);  // 0.001 s -> 1000.0 us
+  EXPECT_EQ(text.find("trainer.batch_time"), std::string::npos);
+
+  // A snapshot with no kernel telemetry renders nothing.
+  EXPECT_TRUE(render_kernel_metrics(kernel_metrics(parse("{}"))).empty());
+}
+
 /// One parsed data row of bench_table4's printed N-EV table.
 struct Table4Row {
   std::string cell;  ///< framework/model/rate — the bench's cell key

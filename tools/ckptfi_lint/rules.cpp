@@ -13,8 +13,10 @@
 //     src/util is exempt (it hosts the seeded RNG itself) and src/obs is
 //     exempt (diagnostics may read wall clocks).
 //   - concurrency rules: everywhere.
-//   - arena rules: the kernel hot-path files src/tensor/{ops,ops_naive,
-//     kernels}.cpp, whose scratch must come from the Workspace arena.
+//   - arena + simd lane-order rules: the kernel hot-path files
+//     src/tensor/{ops,ops_naive,ops_simd,kernels}.cpp, whose scratch must
+//     come from the Workspace arena and whose reductions must use the
+//     documented fixed lane fold (never horizontal-add intrinsics).
 //   - obs conventions: bench/bench_*.cpp harnesses.
 #include <algorithm>
 #include <string>
@@ -53,6 +55,7 @@ bool in_deterministic_module(std::string_view path) {
 
 bool is_kernel_hot_path(std::string_view path) {
   return path == "src/tensor/ops.cpp" || path == "src/tensor/ops_naive.cpp" ||
+         path == "src/tensor/ops_simd.cpp" ||
          path == "src/tensor/kernels.cpp";
 }
 
@@ -114,6 +117,7 @@ constexpr char kAtomicFloat[] = "conc-atomic-float";
 constexpr char kArenaHeap[] = "arena-kernel-heap";
 constexpr char kBenchObs[] = "obs-bench-conventions";
 constexpr char kPrefixMutation[] = "det-prefix-cache-mutation";
+constexpr char kSimdLaneOrder[] = "det-simd-lane-order";
 constexpr char kAllowReason[] = "lint-allow-needs-reason";
 
 /// det-rng-entropy: process-state entropy sources in deterministic modules.
@@ -427,6 +431,34 @@ void check_prefix_cache_mutation(const std::vector<Token>& toks,
   }
 }
 
+/// det-simd-lane-order: across-lane horizontal-reduce intrinsics in the
+/// kernel hot paths. _mm256_hadd_pd and friends fold adjacent lanes in an
+/// ISA-defined order that differs from the documented lane tree
+/// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), so a kernel using them would pass
+/// ulp-tolerance tests yet silently break the simd tier's scalar ≡ vector
+/// bitwise contract (docs/KERNELS.md) — the exact drift the one-time golden
+/// re-pin was priced for. Lane accumulators must be stored out and folded
+/// with explicit scalar adds.
+void check_simd_lane_order(const std::vector<Token>& toks,
+                           std::vector<RawFinding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier || !is_punct(toks[i + 1], "(")) continue;
+    const std::string_view name = t.text;
+    const bool x86_hadd = starts_with(name, "_mm") && contains(name, "_hadd_");
+    const bool avx512_reduce = starts_with(name, "_mm512_reduce_add_");
+    const bool neon_across = starts_with(name, "vaddv") ||
+                             starts_with(name, "vpadd");
+    if (x86_hadd || avx512_reduce || neon_across) {
+      out.push_back({kSimdLaneOrder, t.line,
+                     "'" + t.text +
+                         "' folds vector lanes in ISA-defined order; keep "
+                         "the documented fixed lane tree fold so scalar and "
+                         "vector stay bitwise-identical"});
+    }
+  }
+}
+
 /// obs-bench-conventions: every bench harness stamps a run_start event (so
 /// metrics/trace artifacts record what produced them) and supports
 /// --json-out snapshots.
@@ -500,6 +532,11 @@ const std::vector<RuleInfo>& rules() {
        "reference bindings of get_or_build results)",
        "treat cached prefixes as immutable snapshots: hold them as "
        "std::shared_ptr<const PrefixEntryData> / const auto&"},
+      {kSimdLaneOrder,
+       "No across-lane horizontal-reduce intrinsics (_mm*_hadd_*, "
+       "_mm512_reduce_add_*, vaddv*/vpadd*) in kernel hot paths",
+       "store the lane accumulators and fold them with the documented "
+       "fixed tree: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)) (docs/KERNELS.md)"},
       {kAllowReason,
        "Every ckptfi-lint suppression names a rule and carries a reason",
        "write '// ckptfi-lint: allow(<rule>) <why this is safe here>'"},
@@ -523,7 +560,10 @@ void check_file(const std::string& rel_path, std::string_view content,
   }
   check_notify_under_lock(lexed.tokens, raw);
   check_atomic_float(lexed.tokens, raw);
-  if (is_kernel_hot_path(rel_path)) check_kernel_heap(lexed.tokens, raw);
+  if (is_kernel_hot_path(rel_path)) {
+    check_kernel_heap(lexed.tokens, raw);
+    check_simd_lane_order(lexed.tokens, raw);
+  }
   if (is_bench_harness(rel_path)) check_bench_conventions(lexed.tokens, raw);
 
   // Suppression bookkeeping: a directive covers its own line and the line

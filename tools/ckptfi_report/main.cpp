@@ -8,7 +8,10 @@
 //   --cell=SUBSTRING  only analyze rows whose "cell" contains SUBSTRING
 //   --metrics=PATH    read a bench --json-out metrics snapshot and report
 //                     its prefix-reuse telemetry (prefix.hits/misses/
-//                     spills/reloads/segments_skipped, bytes cached)
+//                     spills/reloads/segments_skipped, bytes cached) and
+//                     its kernel-compute telemetry (kernels.* timing
+//                     histograms, active backend tier / simd ISA / GEMM
+//                     precision from the run_start event)
 //
 // Positional arguments (and --in=PATH, equivalently) name JSONL files as
 // written by any campaign bench's --trials-out; multiple files concatenate,
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
     const ckptfi::report::Analysis analysis = ckptfi::report::analyze(rows);
     std::fputs(ckptfi::report::render_text(analysis).c_str(), stdout);
     ckptfi::Json prefix = ckptfi::Json::object();
+    ckptfi::Json kernels = ckptfi::Json::object();
     if (!metrics_in.empty()) {
       std::ifstream min(metrics_in);
       if (!min) {
@@ -88,12 +92,17 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buf;
       buf << min.rdbuf();
-      prefix = ckptfi::report::prefix_metrics(ckptfi::Json::parse(buf.str()));
+      const ckptfi::Json snapshot = ckptfi::Json::parse(buf.str());
+      prefix = ckptfi::report::prefix_metrics(snapshot);
       const std::string section = ckptfi::report::render_prefix_metrics(prefix);
       std::fputs(section.empty()
                      ? "no prefix-reuse activity in the metrics snapshot\n"
                      : section.c_str(),
                  stdout);
+      kernels = ckptfi::report::kernel_metrics(snapshot);
+      const std::string ksection =
+          ckptfi::report::render_kernel_metrics(kernels);
+      if (!ksection.empty()) std::fputs(ksection.c_str(), stdout);
     }
     if (!json_out.empty()) {
       std::ofstream out(json_out, std::ios::trunc);
@@ -103,7 +112,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       ckptfi::Json j = analysis.to_json();
-      if (!metrics_in.empty()) j["prefix_reuse"] = std::move(prefix);
+      if (!metrics_in.empty()) {
+        j["prefix_reuse"] = std::move(prefix);
+        j["kernels"] = std::move(kernels);
+      }
       out << j.dump(2) << "\n";
     }
   } catch (const std::exception& e) {

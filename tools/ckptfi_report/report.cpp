@@ -286,4 +286,65 @@ std::string render_prefix_metrics(const Json& metrics) {
   return out.str();
 }
 
+Json kernel_metrics(const Json& snapshot) {
+  Json out = Json::object();
+  if (snapshot.contains("events")) {
+    for (const auto& e : snapshot.at("events").items()) {
+      if (!e.is_object() || !e.contains("type") ||
+          e.at("type").as_string() != "run_start")
+        continue;
+      // The first run_start stamps the run's compute configuration.
+      if (e.contains("kernels.backend"))
+        out["backend"] = e.at("kernels.backend");
+      if (e.contains("kernels.simd_isa"))
+        out["simd_isa"] = e.at("kernels.simd_isa");
+      if (e.contains("kernels.gemm_precision"))
+        out["gemm_precision"] = e.at("kernels.gemm_precision");
+      break;
+    }
+  }
+  Json hists = Json::object();
+  if (snapshot.contains("histograms")) {
+    for (const auto& [name, h] : snapshot.at("histograms").members()) {
+      if (name.rfind("kernels.", 0) != 0 || !h.is_object()) continue;
+      Json e = Json::object();
+      for (const char* k : {"count", "mean", "p50", "p99", "max"}) {
+        if (h.contains(k)) e[k] = h.at(k);
+      }
+      hists[name] = std::move(e);
+    }
+  }
+  if (!hists.members().empty()) out["histograms"] = std::move(hists);
+  return out;
+}
+
+std::string render_kernel_metrics(const Json& metrics) {
+  if (metrics.members().empty()) return "";
+  std::ostringstream out;
+  out << "kernel compute (from the --json-out metrics snapshot):\n";
+  const auto field = [&](const char* k) {
+    return metrics.contains(k) ? metrics.at(k).as_string() : std::string("-");
+  };
+  out << "backend: " << field("backend") << "  simd isa: " << field("simd_isa")
+      << "  gemm precision: " << field("gemm_precision") << "\n";
+  if (metrics.contains("histograms")) {
+    core::TextTable table(
+        {"histogram", "count", "mean us", "p50 us", "p99 us", "max us"});
+    for (const auto& [name, h] : metrics.at("histograms").members()) {
+      const auto us = [&](const char* k) {
+        return h.contains(k) ? format_fixed(h.at(k).as_double() * 1e6, 1)
+                             : std::string("-");
+      };
+      const long long count =
+          h.contains("count")
+              ? static_cast<long long>(h.at("count").as_double())
+              : 0;
+      table.add_row({name, std::to_string(count), us("mean"), us("p50"),
+                     us("p99"), us("max")});
+    }
+    out << table.str();
+  }
+  return out.str();
+}
+
 }  // namespace ckptfi::report

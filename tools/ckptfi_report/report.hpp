@@ -93,4 +93,15 @@ Json prefix_metrics(const Json& snapshot);
 /// empty).
 std::string render_prefix_metrics(const Json& metrics);
 
+/// Extract the kernel-compute telemetry from a bench --json-out metrics
+/// snapshot: every "kernels.*" histogram (gemm_time, im2col_time — seconds
+/// per dispatched call) summarised as count/mean/p50/p99/max, plus the
+/// active backend tier, simd ISA and GEMM precision stamped on the run's
+/// run_start event. Empty when the snapshot carries neither.
+Json kernel_metrics(const Json& snapshot);
+
+/// Render the kernel-compute section of the report ("" when `metrics` is
+/// empty).
+std::string render_kernel_metrics(const Json& metrics);
+
 }  // namespace ckptfi::report
