@@ -1,0 +1,23 @@
+// One half of a two-file ABBA inversion: this side takes sched_mu before
+// stats_mu; pipeline_b.cpp reaches the opposite order through reschedule().
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+std::mutex sched_mu;
+std::mutex stats_mu;
+int pending = 0;
+int flushed = 0;
+
+void submit_job() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  std::lock_guard<std::mutex> stats(stats_mu);
+  ++pending;
+}
+
+void reschedule() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  ++pending;
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,12 @@
+// The other half: stats_mu is held while reschedule() (pipeline_a.cpp)
+// acquires sched_mu — the inverse of submit_job's order.
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+void flush_stats() {
+  std::lock_guard<std::mutex> stats(stats_mu);
+  reschedule();
+}
+
+}  // namespace ckptfi

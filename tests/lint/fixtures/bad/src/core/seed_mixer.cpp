@@ -1,0 +1,13 @@
+// Deterministic-module caller reaching entropy only through the util
+// helper: clean for every tier A rule, dirty for det-transitive-entropy.
+#include <cstdint>
+
+#include "util/mix_helper.hpp"
+
+namespace ckptfi {
+
+std::uint64_t mix_seed(std::uint64_t base) {
+  return noisy_mix(base);
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,11 @@
+// Allocating helper outside the kernel hot-path file list: tier A's
+// arena-kernel-heap never sees this, arena-transitive-heap follows the call.
+#pragma once
+
+namespace ckptfi {
+
+inline float* scratch_grow(int n) {
+  return new float[static_cast<unsigned>(n)];
+}
+
+}  // namespace ckptfi

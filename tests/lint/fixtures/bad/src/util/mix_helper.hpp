@@ -1,0 +1,18 @@
+// Helper in the tier-A-exempt util module: the entropy draw is invisible to
+// the per-file rules, so only det-transitive-entropy catches callers.
+#pragma once
+#include <cstdint>
+#include <random>
+
+namespace ckptfi {
+
+inline std::uint64_t entropy_word() {
+  std::random_device dev;
+  return dev();
+}
+
+inline std::uint64_t noisy_mix(std::uint64_t x) {
+  return x ^ entropy_word();
+}
+
+}  // namespace ckptfi

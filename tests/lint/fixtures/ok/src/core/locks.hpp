@@ -1,0 +1,11 @@
+#pragma once
+#include <mutex>
+
+namespace ckptfi {
+
+extern std::mutex sched_mu;
+extern std::mutex stats_mu;
+
+void bump_stats();
+
+}  // namespace ckptfi

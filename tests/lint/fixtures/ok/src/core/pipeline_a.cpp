@@ -1,0 +1,23 @@
+// Consistent lock order: every chain takes sched_mu before stats_mu, so the
+// interprocedural pair set has one direction only — no inversion.
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+std::mutex sched_mu;
+std::mutex stats_mu;
+int pending = 0;
+int flushed = 0;
+
+void submit_job() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  std::lock_guard<std::mutex> stats(stats_mu);
+  ++pending;
+}
+
+void bump_stats() {
+  std::lock_guard<std::mutex> stats(stats_mu);
+  ++flushed;
+}
+
+}  // namespace ckptfi

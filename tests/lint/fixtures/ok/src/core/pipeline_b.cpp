@@ -1,0 +1,12 @@
+// Reaches stats_mu through bump_stats() while holding sched_mu — the same
+// sched-before-stats order submit_job uses, so no ABBA pair forms.
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+void flush_stats() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  bump_stats();
+}
+
+}  // namespace ckptfi

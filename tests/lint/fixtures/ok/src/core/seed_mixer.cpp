@@ -1,0 +1,13 @@
+// Deterministic-module caller whose helper chain is entropy-free: the same
+// call shape as the bad tree, quiet under det-transitive-entropy.
+#include <cstdint>
+
+#include "util/mix_helper.hpp"
+
+namespace ckptfi {
+
+std::uint64_t mix_seed(std::uint64_t base) {
+  return noisy_mix(base);
+}
+
+}  // namespace ckptfi

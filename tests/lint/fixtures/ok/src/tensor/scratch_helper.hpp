@@ -1,0 +1,10 @@
+// Conforming helper: operates on caller-provided storage, allocates nothing.
+#pragma once
+
+namespace ckptfi {
+
+inline void scratch_fill(float* tmp, const float* x, int n) {
+  for (int i = 0; i < n; ++i) tmp[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+}  // namespace ckptfi

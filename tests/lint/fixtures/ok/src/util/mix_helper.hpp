@@ -1,0 +1,19 @@
+// Conforming twin of the bad tree's helper: pure splitmix64-style mixing,
+// no entropy anywhere in the transitive closure.
+#pragma once
+#include <cstdint>
+
+namespace ckptfi {
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t noisy_mix(std::uint64_t x) {
+  return mix64(x);
+}
+
+}  // namespace ckptfi

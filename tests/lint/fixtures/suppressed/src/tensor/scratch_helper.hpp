@@ -1,0 +1,9 @@
+#pragma once
+
+namespace ckptfi {
+
+inline float* scratch_grow(int n) {
+  return new float[static_cast<unsigned>(n)];
+}
+
+}  // namespace ckptfi

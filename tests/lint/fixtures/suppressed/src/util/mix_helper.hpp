@@ -1,0 +1,18 @@
+// Same entropy-through-helper shape as the bad tree; the boundary call in
+// src/core carries the reasoned allow.
+#pragma once
+#include <cstdint>
+#include <random>
+
+namespace ckptfi {
+
+inline std::uint64_t entropy_word() {
+  std::random_device dev;
+  return dev();
+}
+
+inline std::uint64_t noisy_mix(std::uint64_t x) {
+  return x ^ entropy_word();
+}
+
+}  // namespace ckptfi

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+
+#include "scopes.hpp"
 
 namespace ckptfi::lint {
 namespace {
@@ -36,7 +39,12 @@ TEST(LintRules, RegistryHasUniqueIdsAndHints) {
     EXPECT_FALSE(r.summary.empty()) << r.id;
     EXPECT_FALSE(r.hint.empty()) << r.id;
   }
-  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.size(), 13u);
+  // The interprocedural tier is present in the registry (so --list-rules and
+  // the SARIF driver describe it).
+  EXPECT_TRUE(ids.count("det-transitive-entropy"));
+  EXPECT_TRUE(ids.count("arena-transitive-heap"));
+  EXPECT_TRUE(ids.count("conc-lock-order"));
 }
 
 TEST(LintFixtures, EveryRuleFiresOnTheBadTree) {
@@ -59,12 +67,12 @@ TEST(LintFixtures, OkTreeIsClean) {
     ADD_FAILURE() << "false positive: " << f.file << ":" << f.line << " ["
                   << f.rule << "] " << f.message;
   }
-  EXPECT_EQ(report.files_scanned, 9u);  // one clean twin per checker family
+  EXPECT_EQ(report.files_scanned, 16u);  // one clean twin per checker family
 }
 
 TEST(LintFixtures, ReasonedSuppressionNeutralisesAndUnusedIsNoted) {
   const Report report = run_tree("suppressed");
-  ASSERT_EQ(report.findings.size(), 4u);
+  ASSERT_EQ(report.findings.size(), 7u);
   std::set<std::string> suppressed_rules;
   for (const Finding& f : report.findings) {
     EXPECT_TRUE(f.suppressed) << f.file << ":" << f.line;
@@ -75,12 +83,203 @@ TEST(LintFixtures, ReasonedSuppressionNeutralisesAndUnusedIsNoted) {
   EXPECT_TRUE(suppressed_rules.count("det-rng-unseeded-mt19937"));
   EXPECT_TRUE(suppressed_rules.count("det-prefix-cache-mutation"));
   EXPECT_TRUE(suppressed_rules.count("det-simd-lane-order"));
+  // Interprocedural findings honour the same allow() mechanics at their
+  // boundary call site.
+  EXPECT_TRUE(suppressed_rules.count("det-transitive-entropy"));
+  EXPECT_TRUE(suppressed_rules.count("arena-transitive-heap"));
+  EXPECT_TRUE(suppressed_rules.count("conc-lock-order"));
   EXPECT_EQ(report.unsuppressed(), 0u);
 
-  ASSERT_EQ(report.suppressions.size(), 5u);
+  ASSERT_EQ(report.suppressions.size(), 8u);
   std::size_t used = 0;
   for (const SuppressionRecord& s : report.suppressions) used += s.used ? 1 : 0;
-  EXPECT_EQ(used, 4u);  // one directive stays unused, reported as a note
+  EXPECT_EQ(used, 7u);  // one directive stays unused, reported as a note
+}
+
+const Finding* find_rule(const Report& report, const std::string& rule) {
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+TEST(LintTierB, FindingsCarryCrossFileChains) {
+  const Report report = run_tree("bad");
+
+  const Finding* entropy = find_rule(report, "det-transitive-entropy");
+  ASSERT_NE(entropy, nullptr);
+  EXPECT_EQ(entropy->file, "src/core/seed_mixer.cpp");
+  ASSERT_GE(entropy->chain.size(), 3u);  // call → helper call → banned token
+  EXPECT_EQ(entropy->chain.front().file, entropy->file);
+  EXPECT_EQ(entropy->chain.back().file, "src/util/mix_helper.hpp");
+  EXPECT_NE(entropy->chain.back().note.find("random_device"),
+            std::string::npos);
+
+  const Finding* heap = find_rule(report, "arena-transitive-heap");
+  ASSERT_NE(heap, nullptr);
+  EXPECT_EQ(heap->file, "src/tensor/kernels.cpp");
+  ASSERT_GE(heap->chain.size(), 2u);
+  EXPECT_EQ(heap->chain.back().file, "src/tensor/scratch_helper.hpp");
+
+  const Finding* lock = find_rule(report, "conc-lock-order");
+  ASSERT_NE(lock, nullptr);
+  ASSERT_FALSE(lock->chain.empty());
+  ASSERT_FALSE(lock->counter_chain.empty());
+  // The two chains witness opposite orders from two different files.
+  EXPECT_EQ(lock->chain.front().file, "src/core/pipeline_a.cpp");
+  EXPECT_EQ(lock->counter_chain.front().file, "src/core/pipeline_b.cpp");
+}
+
+TEST(LintTierB, SarifEncodesCodeFlowsAndRelatedLocations) {
+  const Report report = run_tree("bad");
+  const Json sarif = report.sarif();
+  const Json& results = sarif.at("runs").at(0).at("results");
+
+  bool saw_entropy = false;
+  bool saw_lock = false;
+  for (const Json& res : results.items()) {
+    const std::string rule = res.at("ruleId").as_string();
+    if (rule == "det-transitive-entropy") {
+      saw_entropy = true;
+      const Json& flows =
+          res.at("codeFlows").at(0).at("threadFlows");
+      ASSERT_EQ(flows.size(), 1u);
+      const Json& locs = flows.at(0).at("locations");
+      const Finding* f = find_rule(report, rule);
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(locs.size(), f->chain.size());
+      // Every step resolves to a physical location matching the chain.
+      for (std::size_t i = 0; i < locs.size(); ++i) {
+        const Json& phys = locs.at(i).at("location").at("physicalLocation");
+        EXPECT_EQ(phys.at("artifactLocation").at("uri").as_string(),
+                  f->chain[i].file);
+        EXPECT_EQ(phys.at("region").at("startLine").as_int(),
+                  f->chain[i].line);
+      }
+      EXPECT_EQ(res.at("relatedLocations").size(), f->chain.size());
+    }
+    if (rule == "conc-lock-order") {
+      saw_lock = true;
+      // ABBA evidence is two thread flows: the chain and its inverse.
+      const Json& flows = res.at("codeFlows").at(0).at("threadFlows");
+      EXPECT_EQ(flows.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(saw_entropy);
+  EXPECT_TRUE(saw_lock);
+}
+
+TEST(LintScopes, DumpListsEveryTableAndMatchesDocs) {
+  const std::string dump = scopes_dump();
+  // Spot checks that the dump is the constexpr tables, not a paraphrase.
+  EXPECT_NE(dump.find("deterministic-module: src/tensor/"), std::string::npos);
+  EXPECT_NE(dump.find("deterministic-exempt: src/util/"), std::string::npos);
+  EXPECT_NE(dump.find("kernel-hot-path: src/tensor/ops_simd.cpp"),
+            std::string::npos);
+  EXPECT_NE(dump.find("entropy-barrier: obs::"), std::string::npos);
+  EXPECT_NE(dump.find("heap-barrier: Workspace::"), std::string::npos);
+
+  std::ifstream in(CKPTFI_LINT_DOC_PATH);
+  ASSERT_TRUE(in) << "missing " << CKPTFI_LINT_DOC_PATH;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  // Every table entry must appear verbatim in docs/LINT.md — adding a module
+  // without documenting it fails here, not in review.
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto sep = line.find(": ");
+    ASSERT_NE(sep, std::string::npos) << line;
+    const std::string entry = line.substr(sep + 2);
+    EXPECT_NE(doc.find(entry), std::string::npos)
+        << "scope entry not documented in docs/LINT.md: " << entry;
+  }
+}
+
+TEST(LintScopes, PredicatesReadTheTables) {
+  EXPECT_TRUE(in_deterministic_module("src/nn/layers.cpp"));
+  EXPECT_FALSE(in_deterministic_module("src/util/rng.cpp"));
+  EXPECT_TRUE(in_deterministic_exempt("src/util/rng.cpp"));
+  EXPECT_TRUE(is_kernel_hot_path("src/tensor/kernels.cpp"));
+  EXPECT_FALSE(is_kernel_hot_path("src/tensor/tensor.cpp"));
+  EXPECT_TRUE(is_entropy_barrier("ckptfi::obs::emit_event"));
+  EXPECT_TRUE(is_heap_barrier("ckptfi::Workspace::tls"));
+  EXPECT_FALSE(is_heap_barrier("ckptfi::naive::matmul"));
+}
+
+TEST(LintCache, WarmRunReplaysAndTouchedFileReindexes) {
+  namespace fs = std::filesystem;
+  const fs::path scratch = fs::path("lint_cache_scratch");
+  fs::remove_all(scratch);
+  fs::create_directories(scratch / "tree" / "src" / "core");
+  const fs::path cache = scratch / "cache";
+  const fs::path file_a = scratch / "tree" / "src" / "core" / "a.cpp";
+  const fs::path file_b = scratch / "tree" / "src" / "core" / "b.cpp";
+  {
+    std::ofstream(file_a) << "int seed_a() { return rand(); }\n";
+    std::ofstream(file_b) << "int value_b() { return 7; }\n";
+  }
+
+  Options opt;
+  opt.root = (scratch / "tree").string();
+  opt.default_excludes = false;
+  opt.index_cache = cache.string();
+
+  const Report cold = run(opt);
+  EXPECT_EQ(cold.files_scanned, 2u);
+  EXPECT_EQ(cold.files_indexed, 2u);
+  EXPECT_EQ(cold.index_cache_hits, 0u);
+  EXPECT_EQ(cold.unsuppressed(), 1u);  // the rand() in a.cpp
+
+  const Report warm = run(opt);
+  EXPECT_EQ(warm.files_indexed, 0u);
+  EXPECT_EQ(warm.index_cache_hits, 2u);
+  // Replayed artifacts reproduce the cold report exactly.
+  EXPECT_EQ(warm.sarif().dump(2), cold.sarif().dump(2));
+
+  // Touch one file: only it re-indexes; the finding it carried is gone.
+  std::ofstream(file_a) << "int seed_a() { return 7; }\n";
+  const Report touched = run(opt);
+  EXPECT_EQ(touched.files_indexed, 1u);
+  EXPECT_EQ(touched.index_cache_hits, 1u);
+  EXPECT_EQ(touched.unsuppressed(), 0u);
+
+  fs::remove_all(scratch);
+}
+
+TEST(LintCache, FingerprintIsStableAcrossRuns) {
+  // The warm path depends on the fingerprint being a pure function of the
+  // registry and scope tables; two calls must agree.
+  Options opt;
+  opt.root = fixture_root("ok");
+  opt.default_excludes = false;
+  opt.index_cache = "lint_cache_fp";
+  std::filesystem::remove_all(opt.index_cache);
+  const Report first = run(opt);
+  const Report second = run(opt);
+  EXPECT_EQ(first.files_indexed, second.index_cache_hits);
+  EXPECT_EQ(second.files_indexed, 0u);
+  std::filesystem::remove_all(opt.index_cache);
+}
+
+TEST(LintChangedOnly, ReportsOnlyListedFilesButKeepsWholeTreeIndex) {
+  Options opt;
+  opt.root = fixture_root("bad");
+  opt.default_excludes = false;
+  opt.only_report_listed = true;
+  opt.only_report = {"src/core/seed_mixer.cpp"};
+  const Report report = run(opt);
+
+  // The whole tree was still scanned (interprocedural chains need it)...
+  EXPECT_EQ(report.files_scanned, 18u);
+  // ...but findings are reported only for the listed file — and the tier B
+  // finding survives even though its evidence lives in an unlisted helper.
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "det-transitive-entropy");
+  EXPECT_EQ(report.findings[0].file, "src/core/seed_mixer.cpp");
+  EXPECT_EQ(report.findings[0].chain.back().file, "src/util/mix_helper.hpp");
 }
 
 TEST(LintFixtures, BadTreeSarifMatchesGolden) {

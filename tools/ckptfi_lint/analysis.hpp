@@ -1,0 +1,53 @@
+// Internal seam between the engine, the tier A token rules, the tier B
+// interprocedural rules, and the index cache. Everything here is a pure
+// function of file contents, which is what the content-hash cache relies on:
+// a FileArtifact can be replayed from disk instead of recomputed, and the
+// report that results is byte-identical.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+#include "sema/index.hpp"
+
+namespace ckptfi::lint {
+
+/// A tier A finding before suppression matching.
+struct RawFinding {
+  std::string rule;
+  int line = 1;
+  std::string message;
+};
+
+/// Everything the engine needs from one file: tier A findings, the
+/// suppression directives, and the tier B declaration index. Cacheable.
+struct FileArtifact {
+  std::vector<RawFinding> findings;
+  std::vector<Suppression> suppressions;
+  sema::FileIndex index;
+};
+
+/// Lex + tier A rules + declaration index, in one pass over the content.
+FileArtifact analyze_file(const std::string& rel_path,
+                          std::string_view content);
+
+/// Tier A only (rules.cpp): path-scoped token-stream rules.
+void tier_a_rules(const std::string& rel_path, const LexedFile& lexed,
+                  std::vector<RawFinding>& out);
+
+/// Tier B (sema/rules_b.cpp): interprocedural rules over every file's index.
+/// Returned findings carry evidencing chains; suppression is not yet applied.
+std::vector<Finding> interprocedural_rules(
+    const std::vector<FileArtifact>& artifacts);
+
+/// Turn an artifact's raw findings into report findings (matching allow()
+/// directives, recording every directive as a SuppressionRecord) and bump
+/// files_scanned. The engine calls this per file after cache replay;
+/// check_file() is analyze_file + this.
+void apply_artifact(const std::string& rel_path, const FileArtifact& art,
+                    Report& report);
+
+}  // namespace ckptfi::lint

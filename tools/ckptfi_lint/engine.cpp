@@ -1,13 +1,26 @@
-// File discovery, report assembly, and the two output encoders (human text
-// and SARIF 2.1.0). The scan itself is deterministic: files are visited in
-// sorted root-relative order, so two runs over the same tree produce
-// byte-identical reports — the same property the linter exists to protect.
+// File discovery, the two-tier analysis drive, report assembly, and the two
+// output encoders (human text and SARIF 2.1.0). The scan itself is
+// deterministic: files are visited in sorted root-relative order and the
+// cache replays byte-identical artifacts, so two runs over the same tree
+// produce byte-identical reports — the same property the linter exists to
+// protect.
+//
+// Per-file work (lex + tier A + declaration index) flows through the
+// content-hash cache in sema/cache.{hpp,cpp}; tier B (sema/rules_b.cpp) then
+// runs over every file's index, cached or fresh. That split is why
+// `--changed-only` is sound: unchanged files replay from disk, so the whole
+// tree's call graph is still present for interprocedural chains even when
+// only one file is re-analyzed.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "analysis.hpp"
 #include "lint.hpp"
+#include "sema/cache.hpp"
+#include "util/crc32.hpp"
 
 namespace ckptfi::lint {
 
@@ -28,6 +41,61 @@ const RuleInfo* rule_info(const std::string& id) {
   return nullptr;
 }
 
+/// Match a finding at `line` against a file's directives: a directive covers
+/// its own line and the line directly below (end-of-line or line-above
+/// placement), must name the rule, and must carry a written reason. Returns
+/// the directive index or npos.
+std::size_t match_suppression(const std::vector<Suppression>& sups,
+                              const std::string& rule, int line) {
+  for (std::size_t i = 0; i < sups.size(); ++i) {
+    const Suppression& s = sups[i];
+    const bool covers = s.line == line || s.line == line - 1;
+    const bool names_rule =
+        std::find(s.rules.begin(), s.rules.end(), rule) != s.rules.end();
+    if (covers && names_rule && !s.reason.empty()) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Find the SuppressionRecord in `report` that mirrors directive index `di`
+/// of `rel_path` (records are appended in directive order per file).
+SuppressionRecord* record_for(Report& report, const std::string& rel_path,
+                              int line) {
+  for (SuppressionRecord& rec : report.suppressions) {
+    if (rec.file == rel_path && rec.line == line) return &rec;
+  }
+  return nullptr;
+}
+
+Json location_json(const std::string& file, int line) {
+  Json region = Json::object();
+  region["startLine"] = line;
+  Json artifact = Json::object();
+  artifact["uri"] = file;
+  Json phys = Json::object();
+  phys["artifactLocation"] = std::move(artifact);
+  phys["region"] = std::move(region);
+  Json loc = Json::object();
+  loc["physicalLocation"] = std::move(phys);
+  return loc;
+}
+
+Json thread_flow_json(const std::vector<ChainStep>& chain) {
+  Json locs = Json::array();
+  for (const ChainStep& step : chain) {
+    Json loc = location_json(step.file, step.line);
+    Json msg = Json::object();
+    msg["text"] = step.note;
+    loc["message"] = std::move(msg);
+    Json tf_loc = Json::object();
+    tf_loc["location"] = std::move(loc);
+    locs.push_back(std::move(tf_loc));
+  }
+  Json tf = Json::object();
+  tf["locations"] = std::move(locs);
+  return tf;
+}
+
 }  // namespace
 
 std::size_t Report::unsuppressed() const {
@@ -38,6 +106,46 @@ std::size_t Report::unsuppressed() const {
 
 std::size_t Report::suppressed() const {
   return findings.size() - unsuppressed();
+}
+
+void apply_artifact(const std::string& rel_path, const FileArtifact& art,
+                    Report& report) {
+  std::vector<SuppressionRecord> records;
+  records.reserve(art.suppressions.size());
+  for (const Suppression& s : art.suppressions) {
+    SuppressionRecord rec;
+    rec.file = rel_path;
+    rec.line = s.line;
+    for (std::size_t i = 0; i < s.rules.size(); ++i) {
+      if (i) rec.rules += ",";
+      rec.rules += s.rules[i];
+    }
+    rec.reason = s.reason;
+    records.push_back(std::move(rec));
+  }
+
+  for (const RawFinding& f : art.findings) {
+    Finding fd;
+    fd.rule = f.rule;
+    fd.file = rel_path;
+    fd.line = f.line;
+    fd.message = f.message;
+    // lint-allow-needs-reason is deliberately unsuppressable: a directive
+    // cannot vouch for itself.
+    if (fd.rule != "lint-allow-needs-reason") {
+      const std::size_t di = match_suppression(art.suppressions, fd.rule,
+                                               fd.line);
+      if (di != static_cast<std::size_t>(-1)) {
+        fd.suppressed = true;
+        fd.suppress_reason = art.suppressions[di].reason;
+        records[di].used = true;
+      }
+    }
+    report.findings.push_back(std::move(fd));
+  }
+  for (SuppressionRecord& rec : records)
+    report.suppressions.push_back(std::move(rec));
+  ++report.files_scanned;
 }
 
 Report run(const Options& opt) {
@@ -70,13 +178,75 @@ Report run(const Options& opt) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Per-file pass: replay from the cache or analyze fresh. Every file's
+  // artifact is kept — tier B needs the whole tree's indexes.
+  std::vector<FileArtifact> artifacts;
+  std::vector<std::string> rels;
+  artifacts.reserve(files.size());
   for (const auto& [rel, abs] : files) {
     std::ifstream in(abs, std::ios::binary);
     if (!in) continue;
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string content = buf.str();
-    check_file(rel, content, report);
+    const std::uint32_t crc = crc32(content.data(), content.size());
+    FileArtifact art;
+    bool cached = false;
+    if (!opt.index_cache.empty()) {
+      if (auto hit = sema::cache_load(opt.index_cache, rel, crc)) {
+        art = std::move(*hit);
+        cached = true;
+        ++report.index_cache_hits;
+      }
+    }
+    if (!cached) {
+      art = analyze_file(rel, content);
+      ++report.files_indexed;
+      if (!opt.index_cache.empty())
+        sema::cache_store(opt.index_cache, rel, crc, art);
+    }
+    apply_artifact(rel, art, report);
+    rels.push_back(rel);
+    artifacts.push_back(std::move(art));
+  }
+
+  // Tier B: interprocedural rules over every file's index. Their findings
+  // land at a call site in a policed file, so the directive that suppresses
+  // one lives in that file like any tier A finding.
+  std::vector<Finding> tier_b = interprocedural_rules(artifacts);
+  for (Finding& fd : tier_b) {
+    const auto at = std::find(rels.begin(), rels.end(), fd.file);
+    if (at != rels.end()) {
+      const FileArtifact& art = artifacts[at - rels.begin()];
+      const std::size_t di = match_suppression(art.suppressions, fd.rule,
+                                               fd.line);
+      if (di != static_cast<std::size_t>(-1)) {
+        fd.suppressed = true;
+        fd.suppress_reason = art.suppressions[di].reason;
+        if (SuppressionRecord* rec =
+                record_for(report, fd.file, art.suppressions[di].line))
+          rec->used = true;
+      }
+    }
+    report.findings.push_back(std::move(fd));
+  }
+
+  // --since/--changed-only: the whole tree was indexed (chains may pass
+  // through unchanged files) but only the listed files are *reported*.
+  if (opt.only_report_listed) {
+    const std::set<std::string> keep(opt.only_report.begin(),
+                                     opt.only_report.end());
+    auto drop = [&](const std::string& file) { return !keep.count(file); };
+    report.findings.erase(
+        std::remove_if(report.findings.begin(), report.findings.end(),
+                       [&](const Finding& f) { return drop(f.file); }),
+        report.findings.end());
+    report.suppressions.erase(
+        std::remove_if(report.suppressions.begin(), report.suppressions.end(),
+                       [&](const SuppressionRecord& s) {
+                         return drop(s.file);
+                       }),
+        report.suppressions.end());
   }
 
   std::sort(report.findings.begin(), report.findings.end(),
@@ -100,6 +270,14 @@ std::string Report::text() const {
     if (const RuleInfo* info = rule_info(f.rule)) {
       out << "    hint: " << info->hint << "\n";
     }
+    for (const ChainStep& step : f.chain) {
+      out << "    chain: " << step.file << ":" << step.line << " — "
+          << step.note << "\n";
+    }
+    for (const ChainStep& step : f.counter_chain) {
+      out << "    inverse: " << step.file << ":" << step.line << " — "
+          << step.note << "\n";
+    }
   }
   for (const Finding& f : findings) {
     if (!f.suppressed) continue;
@@ -116,6 +294,10 @@ std::string Report::text() const {
       << findings.size() << " finding(s), " << unsuppressed()
       << " unsuppressed, " << suppressed() << " suppressed ("
       << suppressions.size() << " allow directive(s))\n";
+  if (files_indexed || index_cache_hits) {
+    out << "ckptfi-lint: index: " << files_indexed << " analyzed, "
+        << index_cache_hits << " from cache\n";
+  }
   return out.str();
 }
 
@@ -145,18 +327,40 @@ Json Report::sarif() const {
     Json msg = Json::object();
     msg["text"] = f.message;
     res["message"] = std::move(msg);
-    Json region = Json::object();
-    region["startLine"] = f.line;
-    Json artifact = Json::object();
-    artifact["uri"] = f.file;
-    Json phys = Json::object();
-    phys["artifactLocation"] = std::move(artifact);
-    phys["region"] = std::move(region);
-    Json loc = Json::object();
-    loc["physicalLocation"] = std::move(phys);
     Json locs = Json::array();
-    locs.push_back(std::move(loc));
+    locs.push_back(location_json(f.file, f.line));
     res["locations"] = std::move(locs);
+    if (!f.chain.empty()) {
+      // Tier B evidence: the chain (and, for lock-order inversions, the
+      // inverse chain as a second thread flow — the two threads that
+      // deadlock against each other).
+      Json flows = Json::array();
+      flows.push_back(thread_flow_json(f.chain));
+      if (!f.counter_chain.empty())
+        flows.push_back(thread_flow_json(f.counter_chain));
+      Json cf = Json::object();
+      cf["threadFlows"] = std::move(flows);
+      Json cfs = Json::array();
+      cfs.push_back(std::move(cf));
+      res["codeFlows"] = std::move(cfs);
+
+      Json related = Json::array();
+      for (const ChainStep& step : f.chain) {
+        Json loc = location_json(step.file, step.line);
+        Json m = Json::object();
+        m["text"] = step.note;
+        loc["message"] = std::move(m);
+        related.push_back(std::move(loc));
+      }
+      for (const ChainStep& step : f.counter_chain) {
+        Json loc = location_json(step.file, step.line);
+        Json m = Json::object();
+        m["text"] = step.note;
+        loc["message"] = std::move(m);
+        related.push_back(std::move(loc));
+      }
+      res["relatedLocations"] = std::move(related);
+    }
     if (f.suppressed) {
       Json sup = Json::object();
       sup["kind"] = "inSource";

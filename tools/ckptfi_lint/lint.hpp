@@ -32,6 +32,14 @@ struct RuleInfo {
 /// The registered rule set, in stable id order.
 const std::vector<RuleInfo>& rules();
 
+/// One hop of an interprocedural evidence chain: the call site, callee
+/// definition, or banned token that carries a tier B finding.
+struct ChainStep {
+  std::string file;  ///< scan-root-relative
+  int line = 1;
+  std::string note;  ///< human text, e.g. "gemm_rows calls scratch_helper"
+};
+
 struct Finding {
   std::string rule;
   std::string file;  ///< scan-root-relative, '/'-separated
@@ -39,6 +47,13 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string suppress_reason;
+  /// Tier B evidence: the call chain from the flagged function to the
+  /// banned sink, emitted as SARIF codeFlows/relatedLocations. Empty for
+  /// per-file tier A findings.
+  std::vector<ChainStep> chain;
+  /// Second thread flow for conc-lock-order: the inverse-order chain the
+  /// primary chain deadlocks against.
+  std::vector<ChainStep> counter_chain;
 };
 
 /// One allow() directive encountered while scanning, whether or not any
@@ -59,12 +74,24 @@ struct Options {
   /// self-tests). The fixture tests disable this and point root at the
   /// fixture trees instead.
   bool default_excludes = true;
+  /// Per-file index cache directory (empty = disabled). Entries are keyed
+  /// by content crc32 plus a fingerprint of the rule registry and scope
+  /// tables, so editing a rule invalidates every entry automatically.
+  std::string index_cache;
+  /// When set, findings/suppressions are only *reported* for these
+  /// root-relative files (`--since`/`--changed-only`). The whole tree is
+  /// still indexed — interprocedural chains may pass through unchanged
+  /// files — but the warm cache makes that cheap.
+  bool only_report_listed = false;
+  std::vector<std::string> only_report;
 };
 
 struct Report {
   std::vector<Finding> findings;              ///< sorted by (file,line,rule)
   std::vector<SuppressionRecord> suppressions;  ///< sorted by (file,line)
   std::size_t files_scanned = 0;
+  std::size_t files_indexed = 0;     ///< analyzed fresh this run
+  std::size_t index_cache_hits = 0;  ///< replayed from the on-disk cache
 
   std::size_t unsuppressed() const;
   std::size_t suppressed() const;

@@ -23,8 +23,11 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis.hpp"
 #include "lexer.hpp"
 #include "lint.hpp"
+#include "scopes.hpp"
+#include "sema/index.hpp"
 
 namespace ckptfi::lint {
 
@@ -43,21 +46,9 @@ std::string_view basename_of(std::string_view path) {
   return slash == std::string_view::npos ? path : path.substr(slash + 1);
 }
 
-bool in_deterministic_module(std::string_view path) {
-  for (const char* m : {"src/tensor/", "src/nn/", "src/core/", "src/hdf5/",
-                        "src/solver/", "src/data/", "src/models/",
-                        "src/net/", "tools/ckptfi_fleetd/",
-                        "tools/ckptfi_worker/"}) {
-    if (starts_with(path, m)) return true;
-  }
-  return false;
-}
-
-bool is_kernel_hot_path(std::string_view path) {
-  return path == "src/tensor/ops.cpp" || path == "src/tensor/ops_naive.cpp" ||
-         path == "src/tensor/ops_simd.cpp" ||
-         path == "src/tensor/kernels.cpp";
-}
+// Path scoping (deterministic modules, kernel hot paths) comes from the
+// shared tables in scopes.hpp — the same data --list-scopes dumps and
+// docs/LINT.md documents.
 
 bool is_bench_harness(std::string_view path) {
   if (!starts_with(path, "bench/")) return false;
@@ -101,12 +92,6 @@ std::size_t skip_parens(const std::vector<Token>& toks, std::size_t open) {
   return toks.size();
 }
 
-struct RawFinding {
-  const char* rule;
-  int line;
-  std::string message;
-};
-
 // ---------------------------------------------------------------- rules --
 
 constexpr char kDetRng[] = "det-rng-entropy";
@@ -119,6 +104,11 @@ constexpr char kBenchObs[] = "obs-bench-conventions";
 constexpr char kPrefixMutation[] = "det-prefix-cache-mutation";
 constexpr char kSimdLaneOrder[] = "det-simd-lane-order";
 constexpr char kAllowReason[] = "lint-allow-needs-reason";
+// Tier B (interprocedural, sema/rules_b.cpp) — registered here so
+// --list-rules and the SARIF driver describe the full rule set.
+constexpr char kTransEntropy[] = "det-transitive-entropy";
+constexpr char kTransHeap[] = "arena-transitive-heap";
+constexpr char kLockOrder[] = "conc-lock-order";
 
 /// det-rng-entropy: process-state entropy sources in deterministic modules.
 void check_rng_entropy(const std::vector<Token>& toks,
@@ -540,79 +530,69 @@ const std::vector<RuleInfo>& rules() {
       {kAllowReason,
        "Every ckptfi-lint suppression names a rule and carries a reason",
        "write '// ckptfi-lint: allow(<rule>) <why this is safe here>'"},
+      {kTransEntropy,
+       "No deterministic-module function transitively reaches an "
+       "entropy/time source through helpers (interprocedural)",
+       "route the value through the seeded trial stream, or move the helper "
+       "behind the obs:: observation-only boundary if it never feeds row "
+       "bytes"},
+      {kTransHeap,
+       "No kernel hot-path function transitively reaches heap allocation "
+       "through helpers (interprocedural)",
+       "take scratch from Workspace::tls() in the helper too, or pass the "
+       "caller's arena span down (docs/KERNELS.md)"},
+      {kLockOrder,
+       "No two call chains acquire the same pair of mutexes in opposite "
+       "orders (interprocedural ABBA deadlock)",
+       "pick one acquisition order per mutex pair and make every chain "
+       "follow it, or collapse to std::scoped_lock(a, b) at a single site"},
   };
   return kRules;
 }
 
-void check_file(const std::string& rel_path, std::string_view content,
-                Report& report) {
-  const LexedFile lexed = lex(content);
-  std::vector<RawFinding> raw;
-
+void tier_a_rules(const std::string& rel_path, const LexedFile& lexed,
+                  std::vector<RawFinding>& out) {
   if (in_deterministic_module(rel_path)) {
-    check_rng_entropy(lexed.tokens, raw);
-    check_unseeded_mt19937(lexed.tokens, raw);
-    check_unordered(lexed.tokens, raw);
+    check_rng_entropy(lexed.tokens, out);
+    check_unseeded_mt19937(lexed.tokens, out);
+    check_unordered(lexed.tokens, out);
     // The cache implementation builds entries in place before publishing
     // them; everywhere else the entries are read-only.
     if (rel_path != "src/core/prefix_cache.cpp")
-      check_prefix_cache_mutation(lexed.tokens, raw);
+      check_prefix_cache_mutation(lexed.tokens, out);
   }
-  check_notify_under_lock(lexed.tokens, raw);
-  check_atomic_float(lexed.tokens, raw);
+  check_notify_under_lock(lexed.tokens, out);
+  check_atomic_float(lexed.tokens, out);
   if (is_kernel_hot_path(rel_path)) {
-    check_kernel_heap(lexed.tokens, raw);
-    check_simd_lane_order(lexed.tokens, raw);
+    check_kernel_heap(lexed.tokens, out);
+    check_simd_lane_order(lexed.tokens, out);
   }
-  if (is_bench_harness(rel_path)) check_bench_conventions(lexed.tokens, raw);
+  if (is_bench_harness(rel_path)) check_bench_conventions(lexed.tokens, out);
 
-  // Suppression bookkeeping: a directive covers its own line and the line
-  // directly below (end-of-line or line-above placement).
-  std::vector<SuppressionRecord> records;
-  records.reserve(lexed.suppressions.size());
+  // A malformed allow() is itself a finding — deliberately unsuppressable
+  // (the engine never matches kAllowReason against directives).
   for (const Suppression& s : lexed.suppressions) {
-    SuppressionRecord rec;
-    rec.file = rel_path;
-    rec.line = s.line;
-    for (std::size_t i = 0; i < s.rules.size(); ++i) {
-      if (i) rec.rules += ",";
-      rec.rules += s.rules[i];
-    }
-    rec.reason = s.reason;
-    records.push_back(std::move(rec));
     if (s.rules.empty() || s.reason.empty()) {
-      raw.push_back({kAllowReason, s.line,
+      out.push_back({kAllowReason, s.line,
                      "suppression must name a rule and carry a written "
                      "reason"});
     }
   }
+}
 
-  for (const RawFinding& f : raw) {
-    Finding fd;
-    fd.rule = f.rule;
-    fd.file = rel_path;
-    fd.line = f.line;
-    fd.message = f.message;
-    if (fd.rule != kAllowReason) {
-      for (std::size_t i = 0; i < lexed.suppressions.size(); ++i) {
-        const Suppression& s = lexed.suppressions[i];
-        const bool covers = s.line == f.line || s.line == f.line - 1;
-        const bool names_rule =
-            std::find(s.rules.begin(), s.rules.end(), fd.rule) !=
-            s.rules.end();
-        if (covers && names_rule && !s.reason.empty()) {
-          fd.suppressed = true;
-          fd.suppress_reason = s.reason;
-          records[i].used = true;
-          break;
-        }
-      }
-    }
-    report.findings.push_back(std::move(fd));
-  }
-  for (SuppressionRecord& rec : records)
-    report.suppressions.push_back(std::move(rec));
-  ++report.files_scanned;
+FileArtifact analyze_file(const std::string& rel_path,
+                          std::string_view content) {
+  const LexedFile lexed = lex(content);
+  FileArtifact art;
+  tier_a_rules(rel_path, lexed, art.findings);
+  art.suppressions = lexed.suppressions;
+  art.index = sema::build_index(rel_path, lexed);
+  return art;
+}
+
+void check_file(const std::string& rel_path, std::string_view content,
+                Report& report) {
+  apply_artifact(rel_path, analyze_file(rel_path, content), report);
 }
 
 }  // namespace ckptfi::lint

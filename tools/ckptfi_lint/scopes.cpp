@@ -1,0 +1,61 @@
+#include "scopes.hpp"
+
+#include <sstream>
+
+namespace ckptfi::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+template <std::size_t N>
+bool any_prefix(const std::string_view (&table)[N], std::string_view s) {
+  for (std::string_view p : table) {
+    if (starts_with(s, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool in_deterministic_module(std::string_view path) {
+  return any_prefix(kDeterministicModules, path);
+}
+
+bool in_deterministic_exempt(std::string_view path) {
+  return any_prefix(kDeterministicExempt, path);
+}
+
+bool is_kernel_hot_path(std::string_view path) {
+  for (std::string_view p : kKernelHotPaths) {
+    if (path == p) return true;
+  }
+  return false;
+}
+
+bool is_entropy_barrier(std::string_view qualified_name) {
+  return any_prefix(kEntropyBarriers, qualified_name);
+}
+
+bool is_heap_barrier(std::string_view qualified_name) {
+  return any_prefix(kHeapBarriers, qualified_name);
+}
+
+std::string scopes_dump() {
+  std::ostringstream out;
+  for (std::string_view p : kDeterministicModules)
+    out << "deterministic-module: " << p << "\n";
+  for (std::string_view p : kDeterministicExempt)
+    out << "deterministic-exempt: " << p << "\n";
+  for (std::string_view p : kKernelHotPaths)
+    out << "kernel-hot-path: " << p << "\n";
+  for (std::string_view p : kEntropyBarriers)
+    out << "entropy-barrier: " << p << "\n";
+  for (std::string_view p : kHeapBarriers)
+    out << "heap-barrier: " << p << "\n";
+  return out.str();
+}
+
+}  // namespace ckptfi::lint

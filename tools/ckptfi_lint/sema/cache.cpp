@@ -1,0 +1,207 @@
+#include "sema/cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scopes.hpp"
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+
+namespace ckptfi::lint::sema {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kCacheFormatVersion = 1;
+
+std::uint32_t crc_str(std::uint32_t crc, const std::string& s) {
+  return ckptfi::crc32(s.data(), s.size(), crc);
+}
+
+Json hits_to_json(const std::vector<DirectHit>& hits) {
+  Json arr = Json::array();
+  for (const DirectHit& h : hits) {
+    Json j = Json::object();
+    j["w"] = h.what;
+    j["l"] = h.line;
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+std::vector<DirectHit> hits_from_json(const Json& arr) {
+  std::vector<DirectHit> out;
+  for (const Json& j : arr.items()) {
+    out.push_back({j.at("w").as_string(), static_cast<int>(j.at("l").as_int())});
+  }
+  return out;
+}
+
+Json strings_to_json(const std::vector<std::string>& v) {
+  Json arr = Json::array();
+  for (const std::string& s : v) arr.push_back(s);
+  return arr;
+}
+
+std::vector<std::string> strings_from_json(const Json& arr) {
+  std::vector<std::string> out;
+  for (const Json& j : arr.items()) out.push_back(j.as_string());
+  return out;
+}
+
+std::string entry_path(const std::string& dir, const std::string& rel_path) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "%08x",
+                ckptfi::crc32(rel_path.data(), rel_path.size()));
+  return dir + "/" + name + ".json";
+}
+
+}  // namespace
+
+std::uint32_t analysis_fingerprint() {
+  std::uint32_t crc = static_cast<std::uint32_t>(kCacheFormatVersion);
+  for (const RuleInfo& r : rules()) {
+    crc = crc_str(crc, r.id);
+    crc = crc_str(crc, r.summary);
+    crc = crc_str(crc, r.hint);
+  }
+  crc = crc_str(crc, scopes_dump());
+  return crc;
+}
+
+std::optional<FileArtifact> cache_load(const std::string& dir,
+                                       const std::string& rel_path,
+                                       std::uint32_t content_crc) {
+  std::ifstream in(entry_path(dir, rel_path), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const Json doc = Json::parse(buf.str());
+    if (doc.at("path").as_string() != rel_path) return std::nullopt;
+    if (static_cast<std::uint32_t>(doc.at("crc").as_int()) != content_crc)
+      return std::nullopt;
+    if (static_cast<std::uint32_t>(doc.at("fp").as_int()) !=
+        analysis_fingerprint())
+      return std::nullopt;
+
+    FileArtifact art;
+    for (const Json& j : doc.at("findings").items()) {
+      art.findings.push_back({j.at("rule").as_string(),
+                              static_cast<int>(j.at("line").as_int()),
+                              j.at("msg").as_string()});
+    }
+    for (const Json& j : doc.at("suppressions").items()) {
+      Suppression s;
+      s.line = static_cast<int>(j.at("line").as_int());
+      s.reason = j.at("reason").as_string();
+      s.rules = strings_from_json(j.at("rules"));
+      art.suppressions.push_back(std::move(s));
+    }
+    art.index.file = rel_path;
+    art.index.includes = strings_from_json(doc.at("includes"));
+    for (const Json& j : doc.at("functions").items()) {
+      FunctionDef def;
+      def.qualified_name = j.at("name").as_string();
+      def.line = static_cast<int>(j.at("line").as_int());
+      for (const Json& c : j.at("calls").items()) {
+        def.calls.push_back({c.at("n").as_string(),
+                             static_cast<int>(c.at("l").as_int()),
+                             strings_from_json(c.at("held"))});
+      }
+      for (const Json& l : j.at("locks").items()) {
+        def.locks.push_back({l.at("m").as_string(),
+                             static_cast<int>(l.at("l").as_int()),
+                             strings_from_json(l.at("held"))});
+      }
+      def.entropy_hits = hits_from_json(j.at("entropy"));
+      def.heap_hits = hits_from_json(j.at("heap"));
+      art.index.functions.push_back(std::move(def));
+    }
+    return art;
+  } catch (...) {
+    return std::nullopt;  // malformed entry = miss
+  }
+}
+
+void cache_store(const std::string& dir, const std::string& rel_path,
+                 std::uint32_t content_crc, const FileArtifact& art) {
+  Json doc = Json::object();
+  doc["path"] = rel_path;
+  doc["crc"] = static_cast<std::int64_t>(content_crc);
+  doc["fp"] = static_cast<std::int64_t>(analysis_fingerprint());
+
+  Json findings = Json::array();
+  for (const RawFinding& f : art.findings) {
+    Json j = Json::object();
+    j["rule"] = f.rule;
+    j["line"] = f.line;
+    j["msg"] = f.message;
+    findings.push_back(std::move(j));
+  }
+  doc["findings"] = std::move(findings);
+
+  Json sups = Json::array();
+  for (const Suppression& s : art.suppressions) {
+    Json j = Json::object();
+    j["line"] = s.line;
+    j["reason"] = s.reason;
+    j["rules"] = strings_to_json(s.rules);
+    sups.push_back(std::move(j));
+  }
+  doc["suppressions"] = std::move(sups);
+
+  doc["includes"] = strings_to_json(art.index.includes);
+  Json fns = Json::array();
+  for (const FunctionDef& d : art.index.functions) {
+    Json j = Json::object();
+    j["name"] = d.qualified_name;
+    j["line"] = d.line;
+    Json calls = Json::array();
+    for (const CallSite& c : d.calls) {
+      Json cj = Json::object();
+      cj["n"] = c.name;
+      cj["l"] = c.line;
+      cj["held"] = strings_to_json(c.held_locks);
+      calls.push_back(std::move(cj));
+    }
+    j["calls"] = std::move(calls);
+    Json locks = Json::array();
+    for (const LockSite& l : d.locks) {
+      Json lj = Json::object();
+      lj["m"] = l.mutex_id;
+      lj["l"] = l.line;
+      lj["held"] = strings_to_json(l.held_before);
+      locks.push_back(std::move(lj));
+    }
+    j["locks"] = std::move(locks);
+    j["entropy"] = hits_to_json(d.entropy_hits);
+    j["heap"] = hits_to_json(d.heap_hits);
+    fns.push_back(std::move(j));
+  }
+  doc["functions"] = std::move(fns);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string final_path = entry_path(dir, rel_path);
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << doc.dump() << "\n";
+    if (!out) {
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+}  // namespace ckptfi::lint::sema

@@ -1,0 +1,37 @@
+// On-disk per-file artifact cache. A FileArtifact is a pure function of
+// (rel_path, content, rule registry, scope tables), so an entry is keyed by
+// the content's crc32 plus a fingerprint of the registry/scopes — touching
+// one source file re-analyzes only that file, and editing a rule or a scope
+// table invalidates every entry without anyone remembering to clean.
+//
+// Entries are single JSON files written via temp + rename, so concurrent
+// lint runs (ctest + a pre-commit hook, say) can share a directory without
+// torn reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis.hpp"
+
+namespace ckptfi::lint::sema {
+
+/// Fingerprint of everything that affects analysis besides file content:
+/// the rule registry (ids, summaries, hints), the scope tables, and a
+/// format version bumped on cache-layout changes.
+std::uint32_t analysis_fingerprint();
+
+/// Load the cached artifact for `rel_path` if its key matches; nullopt on
+/// miss, mismatch, or malformed entry (malformed entries are treated as
+/// misses, never errors — the cache is an accelerator, not a source of
+/// truth).
+std::optional<FileArtifact> cache_load(const std::string& dir,
+                                       const std::string& rel_path,
+                                       std::uint32_t content_crc);
+
+/// Store `art` under the cache key; best-effort (IO failure is ignored).
+void cache_store(const std::string& dir, const std::string& rel_path,
+                 std::uint32_t content_crc, const FileArtifact& art);
+
+}  // namespace ckptfi::lint::sema

@@ -1,0 +1,204 @@
+#include "sema/graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ckptfi::lint::sema {
+
+namespace {
+
+std::vector<std::string> split_quals(const std::string& name) {
+  std::vector<std::string> comps;
+  std::size_t pos = 0;
+  while (true) {
+    const auto sep = name.find("::", pos);
+    if (sep == std::string::npos) {
+      comps.push_back(name.substr(pos));
+      break;
+    }
+    comps.push_back(name.substr(pos, sep - pos));
+    pos = sep + 2;
+  }
+  return comps;
+}
+
+std::string dir_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string stem_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+/// Collapse "a/b/../c" and "./" segments (include texts like
+/// "../common/x.hpp" resolved against a subdirectory).
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const auto slash = path.find('/', pos);
+    const std::string seg =
+        path.substr(pos, slash == std::string::npos ? std::string::npos
+                                                    : slash - pos);
+    if (seg == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!seg.empty() && seg != ".") {
+      parts.push_back(seg);
+    }
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+Program::Program(const std::vector<FileIndex>& files) {
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    file_idx_[files[i].file] = static_cast<int>(i);
+  }
+  // Files sharing a stem (foo.hpp / foo.cpp) are pairs for visibility.
+  std::map<std::string, std::vector<int>> by_stem;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    by_stem[stem_of(files[i].file)].push_back(static_cast<int>(i));
+  }
+  stem_peers_.assign(files.size(), {});
+  for (const auto& [stem, idxs] : by_stem) {
+    for (int i : idxs) stem_peers_[i] = idxs;
+  }
+
+  for (const FileIndex& f : files) {
+    for (const FunctionDef& d : f.functions) {
+      ProgramFn pf;
+      pf.file = &f;
+      pf.def = &d;
+      const auto sep = d.qualified_name.rfind("::");
+      if (sep == std::string::npos) {
+        pf.last = d.qualified_name;
+      } else {
+        pf.scope = d.qualified_name.substr(0, sep);
+        pf.last = d.qualified_name.substr(sep + 2);
+      }
+      by_last_[pf.last].push_back(static_cast<int>(fns_.size()));
+      fns_.push_back(std::move(pf));
+    }
+  }
+
+  // Direct include edges, resolved against the scanned file set: try the
+  // includer's directory, then the repo's two include roots ("src/"-rooted
+  // project headers, and root-relative paths like "bench/common.hpp").
+  const std::size_t nf = files.size();
+  std::vector<std::vector<int>> edges(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const std::string dir = dir_of(files[i].file);
+    for (const std::string& inc : files[i].includes) {
+      for (const std::string& cand :
+           {normalize(dir.empty() ? inc : dir + "/" + inc),
+            normalize("src/" + inc), normalize(inc)}) {
+        const auto it = file_idx_.find(cand);
+        if (it != file_idx_.end()) {
+          edges[i].push_back(it->second);
+          break;
+        }
+      }
+    }
+  }
+  // Transitive closure by BFS per file (the tree is a few hundred files).
+  closure_.assign(nf, std::vector<char>(nf, 0));
+  for (std::size_t i = 0; i < nf; ++i) {
+    std::vector<int> queue = {static_cast<int>(i)};
+    closure_[i][i] = 1;
+    while (!queue.empty()) {
+      const int cur = queue.back();
+      queue.pop_back();
+      for (int next : edges[cur]) {
+        if (!closure_[i][next]) {
+          closure_[i][next] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+bool Program::visible_from(const FileIndex* from, const FileIndex* def_file) const {
+  const int fi = file_idx_.at(from->file);
+  const int di = file_idx_.at(def_file->file);
+  if (closure_[fi][di]) return true;
+  // A .cpp is visible wherever its paired header (same stem) is: the call
+  // resolves through the header declaration, the body lives in the .cpp.
+  for (int peer : stem_peers_[di]) {
+    if (closure_[fi][peer]) return true;
+  }
+  return false;
+}
+
+std::vector<int> Program::resolve(int caller, const CallSite& call) const {
+  const ProgramFn& from = fns_[caller];
+  std::vector<std::string> comps = split_quals(call.name);
+  if (!comps.empty() && comps.front().empty()) comps.erase(comps.begin());
+  if (comps.empty()) return {};
+  const auto it = by_last_.find(comps.back());
+  if (it == by_last_.end()) return {};
+
+  std::vector<int> cands;
+  for (int id : it->second) {
+    if (id == caller) continue;  // plain recursion adds nothing to a chain
+    if (comps.size() > 1) {
+      // suffix-match the written qualifiers against the definition's scope
+      const std::vector<std::string> have = split_quals(fns_[id].def->qualified_name);
+      if (have.size() < comps.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < comps.size(); ++k) {
+        if (have[have.size() - comps.size() + k] != comps[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    cands.push_back(id);
+  }
+  if (cands.empty()) return {};
+
+  if (comps.size() == 1 && !from.scope.empty()) {
+    std::vector<int> same_scope;
+    for (int id : cands) {
+      if (fns_[id].scope == from.scope) same_scope.push_back(id);
+    }
+    if (!same_scope.empty()) return same_scope;
+  }
+
+  std::vector<int> visible;
+  for (int id : cands) {
+    if (visible_from(from.file, fns_[id].file)) visible.push_back(id);
+  }
+  if (!visible.empty()) return visible;
+  if (cands.size() == 1) return cands;
+  return {};
+}
+
+const std::vector<std::vector<std::pair<int, const CallSite*>>>&
+Program::callers() const {
+  if (!callers_built_) {
+    callers_.assign(fns_.size(), {});
+    for (std::size_t f = 0; f < fns_.size(); ++f) {
+      for (const CallSite& c : fns_[f].def->calls) {
+        for (int callee : resolve(static_cast<int>(f), c)) {
+          callers_[callee].emplace_back(static_cast<int>(f), &c);
+        }
+      }
+    }
+    callers_built_ = true;
+  }
+  return callers_;
+}
+
+}  // namespace ckptfi::lint::sema

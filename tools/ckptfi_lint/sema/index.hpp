@@ -1,0 +1,58 @@
+// Tier B's per-file declaration index: the semantic facts the
+// interprocedural rules need, extracted from the tier A token stream in one
+// pass. No AST and no libclang — the indexer recognises just enough C++
+// declaration shape (namespace/class scopes, out-of-line qualified names,
+// ctor init lists, lambda bodies) to attribute every call site, lock
+// acquisition, and banned-token hit to the function whose body contains it.
+//
+// A FileIndex is a pure function of (rel_path, file content), which is what
+// makes the on-disk cache (sema/cache.hpp) sound: content crc unchanged ⇒
+// index unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace ckptfi::lint::sema {
+
+/// A call site inside a function body, with the lock context it runs under.
+struct CallSite {
+  std::string name;  ///< as written: "helper", "util::helper", "obj.method"→"method"
+  int line = 1;
+  std::vector<std::string> held_locks;  ///< canonical mutex ids live at the call
+};
+
+/// One lock acquisition (lock_guard/unique_lock/scoped_lock ctor or .lock()).
+struct LockSite {
+  std::string mutex_id;  ///< canonical id, e.g. "ThreadPool::mu_"
+  int line = 1;
+  std::vector<std::string> held_before;  ///< ids already held when acquiring
+};
+
+/// A banned-token occurrence inside a function body — the taint sources the
+/// transitive rules trace back to.
+struct DirectHit {
+  std::string what;  ///< e.g. "random_device", "push_back"
+  int line = 1;
+};
+
+struct FunctionDef {
+  std::string qualified_name;  ///< scope-stack + written name, "::"-joined
+  int line = 1;                ///< line of the definition header
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+  std::vector<DirectHit> entropy_hits;  ///< det-rng-entropy token shapes
+  std::vector<DirectHit> heap_hits;     ///< arena-kernel-heap token shapes
+};
+
+struct FileIndex {
+  std::string file;                   ///< scan-root-relative, '/'-separated
+  std::vector<std::string> includes;  ///< quoted #include texts, as written
+  std::vector<FunctionDef> functions;
+};
+
+FileIndex build_index(const std::string& rel_path, const LexedFile& lexed);
+
+}  // namespace ckptfi::lint::sema

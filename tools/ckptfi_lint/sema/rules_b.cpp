@@ -1,0 +1,328 @@
+// Tier B: the interprocedural rules. Tier A sees one file at a time, so a
+// helper in an exempt module that calls std::random_device is invisible the
+// moment a kernel calls the helper — exactly the indirect-nondeterminism
+// shape the compute-stage injection backend will multiply. These rules walk
+// the project call graph instead:
+//
+//   det-transitive-entropy  — a deterministic-module function reaches a
+//                             banned entropy/time source through helpers in
+//                             exempt modules (tier A already covers sources
+//                             inside deterministic modules themselves).
+//   arena-transitive-heap   — a kernel hot-path function reaches heap
+//                             allocation through helpers outside the
+//                             hot-path files (tier A covers literal new/
+//                             malloc in those files).
+//   conc-lock-order         — two call chains acquire the same pair of
+//                             mutexes in opposite orders (ABBA deadlock).
+//
+// Findings are reported at the boundary — the call site in the policed file
+// whose callee is transitively dirty — so a deep chain produces one finding
+// where the fix (or the reasoned allow) belongs, and the full chain rides
+// along as SARIF codeFlows evidence.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis.hpp"
+#include "scopes.hpp"
+#include "sema/graph.hpp"
+
+namespace ckptfi::lint {
+
+namespace {
+
+using sema::CallSite;
+using sema::DirectHit;
+using sema::LockSite;
+using sema::Program;
+using sema::ProgramFn;
+
+constexpr char kTransEntropy[] = "det-transitive-entropy";
+constexpr char kTransHeap[] = "arena-transitive-heap";
+constexpr char kLockOrder[] = "conc-lock-order";
+
+/// Where a function's taint comes from: a banned token in its own body, or
+/// a call edge into an already-tainted function. Witness entries are written
+/// first-wins during a BFS from the sources, so following them always
+/// terminates at a DirectHit.
+struct Witness {
+  const DirectHit* hit = nullptr;   ///< set for source functions
+  const CallSite* via = nullptr;    ///< else: the edge toward the sink
+  int next = -1;                    ///< callee fn index for `via`
+};
+
+std::string last_component(const std::string& qualified) {
+  const auto sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+/// Reverse-BFS taint from `sources` through functions satisfying
+/// `in_region`, recording a witness chain per tainted function.
+std::map<int, Witness> propagate(const Program& prog,
+                                 const std::vector<int>& sources,
+                                 const std::vector<char>& in_region,
+                                 const std::vector<const DirectHit*>& hit_of) {
+  std::map<int, Witness> taint;
+  std::vector<int> queue;
+  for (int s : sources) {
+    taint[s] = {hit_of[s], nullptr, -1};
+    queue.push_back(s);
+  }
+  const auto& callers = prog.callers();
+  for (std::size_t q = 0; q < queue.size(); ++q) {
+    const int g = queue[q];
+    for (const auto& [f, call] : callers[g]) {
+      if (!in_region[f] || taint.count(f)) continue;
+      taint[f] = {nullptr, call, g};
+      queue.push_back(f);
+    }
+  }
+  return taint;
+}
+
+/// Unfold a witness chain from `start` down to its banned token.
+std::vector<ChainStep> unfold(const Program& prog,
+                              const std::map<int, Witness>& taint, int start,
+                              const char* verb) {
+  std::vector<ChainStep> steps;
+  int cur = start;
+  for (int guard = 0; guard < 64; ++guard) {
+    const auto it = taint.find(cur);
+    if (it == taint.end()) break;
+    const ProgramFn& fn = prog.fns()[cur];
+    if (it->second.hit) {
+      steps.push_back({fn.file->file, it->second.hit->line,
+                       "'" + fn.def->qualified_name + "' " + verb + " '" +
+                           it->second.hit->what + "'"});
+      break;
+    }
+    const ProgramFn& next = prog.fns()[it->second.next];
+    steps.push_back({fn.file->file, it->second.via->line,
+                     "'" + fn.def->qualified_name + "' calls '" +
+                         last_component(next.def->qualified_name) + "'"});
+    cur = it->second.next;
+  }
+  return steps;
+}
+
+/// Shared body of the two transitive-taint rules.
+void taint_rule(const Program& prog, const char* rule, const char* sink_kind,
+                const char* verb, const char* fix,
+                bool (*entry_file)(std::string_view),
+                bool (*barrier)(std::string_view),
+                std::vector<DirectHit> sema::FunctionDef::*hits,
+                std::vector<Finding>& out) {
+  const auto& fns = prog.fns();
+  const std::size_t n = fns.size();
+
+  std::vector<char> in_region(n, 0);
+  std::vector<const DirectHit*> hit_of(n, nullptr);
+  std::vector<int> sources;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProgramFn& f = fns[i];
+    const bool policed = entry_file(f.file->file);
+    if (policed || barrier(f.def->qualified_name)) continue;
+    in_region[i] = 1;
+    const auto& h = f.def->*hits;
+    if (!h.empty()) {
+      hit_of[i] = &h.front();
+      sources.push_back(static_cast<int>(i));
+    }
+  }
+  if (sources.empty()) return;
+  const std::map<int, Witness> taint = propagate(prog, sources, in_region, hit_of);
+
+  // One finding per call site: a name resolving to several tainted
+  // overloads is one problem at one line, not several.
+  std::set<std::pair<int, int>> seen;  // (entry fn, call line)
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProgramFn& f = fns[i];
+    if (!entry_file(f.file->file)) continue;
+    for (const CallSite& c : f.def->calls) {
+      for (int callee : prog.resolve(static_cast<int>(i), c)) {
+        if (!taint.count(callee)) continue;
+        if (!seen.insert({static_cast<int>(i), c.line}).second) continue;
+        std::vector<ChainStep> chain;
+        chain.push_back({f.file->file, c.line,
+                         "'" + f.def->qualified_name + "' calls '" +
+                             last_component(fns[callee].def->qualified_name) +
+                             "'"});
+        std::vector<ChainStep> rest = unfold(prog, taint, callee, verb);
+        chain.insert(chain.end(), rest.begin(), rest.end());
+        const ChainStep& sink = chain.back();
+        Finding fd;
+        fd.rule = rule;
+        fd.file = f.file->file;
+        fd.line = c.line;
+        fd.message = "'" + f.def->qualified_name + "' transitively reaches " +
+                     sink_kind + " (" + sink.file + ":" +
+                     std::to_string(sink.line) + ") via '" +
+                     last_component(fns[callee].def->qualified_name) + "'; " +
+                     fix;
+        fd.chain = std::move(chain);
+        out.push_back(std::move(fd));
+      }
+    }
+  }
+}
+
+bool entropy_entry(std::string_view path) {
+  return in_deterministic_module(path);
+}
+bool heap_entry(std::string_view path) { return is_kernel_hot_path(path); }
+
+// ------------------------------------------------------------ lock order --
+
+struct AcqWitness {
+  const LockSite* site = nullptr;  ///< acquired locally here
+  const CallSite* via = nullptr;   ///< else reached through this call
+  int next = -1;
+};
+
+struct PairEvidence {
+  std::vector<ChainStep> chain;
+  std::string file;
+  int line = 1;
+};
+
+void lock_order_rule(const Program& prog, std::vector<Finding>& out) {
+  const auto& fns = prog.fns();
+  const std::size_t n = fns.size();
+
+  // Transitive lock-acquisition summaries, to fixpoint. Witnesses are
+  // first-write-wins, so each references an entry that existed strictly
+  // earlier — following them terminates.
+  std::vector<std::map<std::string, AcqWitness>> acq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const LockSite& s : fns[i].def->locks) {
+      acq[i].emplace(s.mutex_id, AcqWitness{&s, nullptr, -1});
+    }
+  }
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const CallSite& c : fns[i].def->calls) {
+        for (int g : prog.resolve(static_cast<int>(i), c)) {
+          for (const auto& entry : acq[g]) {
+            if (acq[i].emplace(entry.first, AcqWitness{nullptr, &c, g}).second)
+              changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  auto unfold_acq = [&](int fn, const std::string& m) {
+    std::vector<ChainStep> steps;
+    int cur = fn;
+    for (int guard = 0; guard < 64; ++guard) {
+      const auto it = acq[cur].find(m);
+      if (it == acq[cur].end()) break;
+      const ProgramFn& f = fns[cur];
+      if (it->second.site) {
+        steps.push_back({f.file->file, it->second.site->line,
+                         "'" + f.def->qualified_name + "' acquires '" + m +
+                             "'"});
+        break;
+      }
+      const ProgramFn& next = fns[it->second.next];
+      steps.push_back({f.file->file, it->second.via->line,
+                       "'" + f.def->qualified_name + "' calls '" +
+                           last_component(next.def->qualified_name) + "'"});
+      cur = it->second.next;
+    }
+    return steps;
+  };
+
+  // Ordered pairs "held `a`, then acquired `b`", each with its best (first
+  // found, functions in deterministic order) evidence chain.
+  std::map<std::pair<std::string, std::string>, PairEvidence> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProgramFn& f = fns[i];
+    for (const LockSite& s : f.def->locks) {
+      for (const std::string& h : s.held_before) {
+        if (h == s.mutex_id) continue;
+        const auto key = std::make_pair(h, s.mutex_id);
+        if (pairs.count(key)) continue;
+        PairEvidence ev;
+        ev.file = f.file->file;
+        ev.line = s.line;
+        ev.chain.push_back({f.file->file, s.line,
+                            "'" + f.def->qualified_name + "' acquires '" +
+                                s.mutex_id + "' while holding '" + h + "'"});
+        pairs.emplace(key, std::move(ev));
+      }
+    }
+    for (const CallSite& c : f.def->calls) {
+      if (c.held_locks.empty()) continue;
+      for (int g : prog.resolve(static_cast<int>(i), c)) {
+        for (const auto& entry : acq[g]) {
+          const std::string& m = entry.first;
+          for (const std::string& h : c.held_locks) {
+            if (h == m) continue;
+            const auto key = std::make_pair(h, m);
+            if (pairs.count(key)) continue;
+            PairEvidence ev;
+            ev.file = f.file->file;
+            ev.line = c.line;
+            ev.chain.push_back(
+                {f.file->file, c.line,
+                 "'" + f.def->qualified_name + "' calls '" +
+                     last_component(fns[g].def->qualified_name) +
+                     "' while holding '" + h + "'"});
+            std::vector<ChainStep> rest = unfold_acq(g, m);
+            ev.chain.insert(ev.chain.end(), rest.begin(), rest.end());
+            pairs.emplace(key, std::move(ev));
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, ev] : pairs) {
+    const auto& [a, b] = key;
+    if (a >= b) continue;  // report each unordered pair once, from (a,b)
+    const auto inverse = pairs.find(std::make_pair(b, a));
+    if (inverse == pairs.end()) continue;
+    Finding fd;
+    fd.rule = kLockOrder;
+    fd.file = ev.file;
+    fd.line = ev.line;
+    fd.message = "lock-order inversion: this chain acquires '" + a +
+                 "' then '" + b + "', but " + inverse->second.file + ":" +
+                 std::to_string(inverse->second.line) + " acquires '" + b +
+                 "' then '" + a +
+                 "'; concurrent callers can deadlock (ABBA)";
+    fd.chain = ev.chain;
+    fd.counter_chain = inverse->second.chain;
+    out.push_back(std::move(fd));
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> interprocedural_rules(
+    const std::vector<FileArtifact>& artifacts) {
+  std::vector<sema::FileIndex> indexes;
+  indexes.reserve(artifacts.size());
+  for (const FileArtifact& a : artifacts) indexes.push_back(a.index);
+  const Program prog(indexes);
+
+  std::vector<Finding> out;
+  taint_rule(prog, kTransEntropy, "an entropy/time source",
+             "uses", "trial results would stop being a pure function of "
+             "(--seed, trial index)",
+             &entropy_entry, &is_entropy_barrier,
+             &sema::FunctionDef::entropy_hits, out);
+  taint_rule(prog, kTransHeap, "heap allocation",
+             "uses", "kernel scratch must come from the Workspace arena "
+             "even through helpers",
+             &heap_entry, &is_heap_barrier, &sema::FunctionDef::heap_hits,
+             out);
+  lock_order_rule(prog, out);
+  return out;
+}
+
+}  // namespace ckptfi::lint
